@@ -1,0 +1,48 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark module reproduces one table or figure from the paper:
+it runs the experiment on simulated hardware, prints the result in the
+paper's layout next to the paper's numbers, and asserts the *shape*
+claims (orderings, ratios, crossovers).  Absolute milliseconds differ
+from the authors' 2002 testbed; shapes should not.
+
+``pytest benchmarks/ --benchmark-only`` runs everything; pass
+``--full-scale`` for the paper's exact run lengths (5000/10000
+transactions) instead of the faster default scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-scale", action="store_true", default=False,
+        help="run TPC-C benchmarks at the paper's full transaction "
+             "counts (slower)")
+
+
+@pytest.fixture(scope="session")
+def full_scale(request) -> bool:
+    """True when --full-scale was passed."""
+    return request.config.getoption("--full-scale")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing.
+
+    The experiments measure *simulated* time internally; the benchmark
+    fixture just reports the wall-clock cost of regenerating the table.
+    """
+    def run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  iterations=1, rounds=1)
+    return run
+
+
+def print_report(text: str) -> None:
+    """Emit a result table (shown with pytest -s; captured otherwise)."""
+    print()
+    print(text)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Crash recovery walkthrough: pull the plug, then put the data back.
+
+1. Mount Trail, issue synchronous writes, and cut power at a random
+   instant — host memory is gone, the write-back queue with it; only
+   what physically reached the platters survives.
+2. Remount over the surviving media.  The driver finds crash_var == 0,
+   binary-searches the log for the youngest write record, walks the
+   prev_sect chain back to the log_head bound, and replays the pending
+   records to the data disk.
+3. Verify durability: every acknowledged write is readable afterwards.
+
+Run:  python examples/crash_recovery.py
+"""
+
+import random
+
+from repro import Simulation, TrailConfig, TrailDriver, st41601n, \
+    wd_caviar_10gb
+from repro.sim import Interrupt
+
+
+def build(log_snapshot=None, data_snapshot=None):
+    sim = Simulation()
+    log_drive = st41601n().make_drive(sim, "log")
+    data_drive = wd_caviar_10gb().make_drive(sim, "data0")
+    if log_snapshot is not None:
+        log_drive.store.restore(log_snapshot)
+    if data_snapshot is not None:
+        data_drive.store.restore(data_snapshot)
+    return sim, log_drive, data_drive
+
+
+def main() -> None:
+    rng = random.Random(2002)
+    config = TrailConfig()
+
+    # ------------------------------------------------------- phase 1
+    sim, log_drive, data_drive = build()
+    TrailDriver.format_disk(log_drive, config)
+    driver = TrailDriver(sim, log_drive, {0: data_drive}, config)
+    acknowledged = {}
+
+    def workload():
+        try:
+            yield sim.process(driver.mount())
+            for index in range(200):
+                lba = rng.randrange(0, 1_000_000)
+                payload = f"record {index}".encode().ljust(1024, b".")
+                yield driver.write(lba, payload)
+                acknowledged[lba] = payload
+                yield sim.timeout(rng.uniform(0.0, 2.0))
+        except (Interrupt, Exception):
+            return
+
+    process = sim.process(workload())
+    crash_at = rng.uniform(100.0, 400.0)
+
+    def power_failure():
+        yield sim.timeout(crash_at)
+        if process.is_alive:
+            process.interrupt("power failure")
+        driver.crash()
+
+    sim.process(power_failure())
+    sim.run()
+
+    committed_on_data_disk = sum(
+        1 for lba, payload in acknowledged.items()
+        if data_drive.store.read(lba, 2) == payload)
+    print(f"power failed at t={crash_at:.1f} ms")
+    print(f"  writes acknowledged        : {len(acknowledged)}")
+    print(f"  already on the data disk   : {committed_on_data_disk}")
+    print(f"  pending only in the log    : "
+          f"{len(acknowledged) - committed_on_data_disk}")
+    print()
+
+    # ------------------------------------------------------- phase 2
+    sim2, log2, data2 = build(log_drive.store.snapshot(),
+                              data_drive.store.snapshot())
+    recovered = TrailDriver(sim2, log2, {0: data2}, config)
+    report = sim2.run_until(sim2.process(recovered.mount()))
+
+    print("recovery report:")
+    print(f"  tracks scanned (binary search): {report.tracks_scanned} "
+          f"of {recovered.geometry.num_tracks}")
+    print(f"  records replayed              : {report.records_found}")
+    print(f"  locate / rebuild / write-back : {report.locate_ms:.0f} / "
+          f"{report.rebuild_ms:.0f} / {report.writeback_ms:.0f} ms")
+    print()
+
+    # ------------------------------------------------------- phase 3
+    lost = [lba for lba, payload in acknowledged.items()
+            if data2.store.read(lba, 2) != payload]
+    if lost:
+        raise SystemExit(f"DURABILITY VIOLATION at LBAs {lost[:5]}...")
+    print(f"all {len(acknowledged)} acknowledged writes verified "
+          "after recovery — no acknowledged data was lost.")
+
+
+if __name__ == "__main__":
+    main()

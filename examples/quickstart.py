@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: mount a Trail disk subsystem and feel the difference.
+
+Builds the paper's hardware (an ST41601N log disk fronting a WD Caviar
+data disk), issues a few synchronous writes through Trail and through a
+plain disk driver, and prints the latencies side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import build_standard_system, build_trail_system
+
+
+def main() -> None:
+    # --- a mounted Trail stack: log disk + data disk + driver --------
+    trail_system = build_trail_system()
+    sim, trail = trail_system.sim, trail_system.driver
+
+    print("Trail mounted:")
+    print(f"  log disk : {trail_system.log_drive.name} "
+          f"({trail.geometry.num_tracks} tracks)")
+    print(f"  epoch    : {trail.epoch}")
+    print(f"  delta    : {trail.predictor.delta_sectors} sectors")
+    print()
+
+    # Applications drive the simulation with generator processes: yield
+    # a driver event to wait for it.  write() acks when the data is
+    # durable (on the log disk); the data-disk copy happens behind the
+    # scenes.
+    def app():
+        latencies = []
+        for index in range(8):
+            lba = 5000 + index * 1000  # scattered targets
+            latency = yield trail.write(lba, f"block {index}".encode())
+            latencies.append(latency)
+        # Read one back (served from the staging buffer or the disk).
+        data = yield trail.read(5000, 1)
+        assert data.startswith(b"block 0")
+        yield from trail.flush()  # wait for the data-disk copies
+        return latencies
+
+    trail_latencies = sim.run_until(sim.process(app()))
+
+    # --- the same writes on a standard in-place driver ---------------
+    standard_system = build_standard_system()
+    std_sim, std = standard_system.sim, standard_system.driver
+
+    def baseline():
+        latencies = []
+        for index in range(8):
+            latency = yield std.write(5000 + index * 1000,
+                                      f"block {index}".encode())
+            latencies.append(latency)
+        return latencies
+
+    std_latencies = std_sim.run_until(std_sim.process(baseline()))
+
+    print("synchronous 512 B writes to scattered locations (ms):")
+    print(f"  {'#':>3} {'Trail':>8} {'standard':>10} {'speedup':>8}")
+    for index, (t, s) in enumerate(zip(trail_latencies, std_latencies)):
+        print(f"  {index:>3} {t:>8.2f} {s:>10.2f} {s / t:>7.1f}x")
+    mean_t = sum(trail_latencies) / len(trail_latencies)
+    mean_s = sum(std_latencies) / len(std_latencies)
+    print(f"  {'avg':>3} {mean_t:>8.2f} {mean_s:>10.2f} "
+          f"{mean_s / mean_t:>7.1f}x")
+    print()
+    print("Trail acknowledged every write after roughly command "
+          "overhead + transfer;\nthe standard driver paid seek + "
+          "rotational latency each time.")
+
+
+if __name__ == "__main__":
+    main()

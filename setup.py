@@ -1,0 +1,12 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml (setuptools >= 61 reads it).  This
+file exists so `pip install -e .` works in offline environments whose
+pip cannot build PEP 660 editable wheels (no `wheel` package): with a
+setup.py present, pip falls back to the legacy `setup.py develop` path,
+which needs only setuptools.
+"""
+
+from setuptools import setup
+
+setup()

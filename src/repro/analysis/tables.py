@@ -1,0 +1,62 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints its results in the same row/column layout
+as the paper's tables and figures so a reader can compare side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_cell(value) -> str:
+    """Human-friendly formatting for mixed numeric/string cells."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    text_rows: List[List[str]] = [[format_cell(cell) for cell in row]
+                                  for row in rows]
+    widths = [len(header) for header in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(width)
+                          for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times faster ``improved`` is than ``baseline``.
+
+    Both arguments are costs (times): ``speedup(10, 2) == 5``.
+    """
+    if improved <= 0:
+        raise ValueError("improved cost must be positive")
+    return baseline / improved

@@ -1,0 +1,17 @@
+"""Baseline storage systems the paper compares Trail against."""
+
+from repro.baselines.dcd import DcdDriver, DcdStats
+from repro.baselines.group_commit import GroupCommitPolicy, SyncCommitPolicy
+from repro.baselines.lfs import LfsDriver, LfsStats
+from repro.baselines.standard import StandardDriver, StandardStats
+
+__all__ = [
+    "DcdDriver",
+    "DcdStats",
+    "GroupCommitPolicy",
+    "LfsDriver",
+    "LfsStats",
+    "StandardDriver",
+    "StandardStats",
+    "SyncCommitPolicy",
+]

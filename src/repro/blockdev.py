@@ -1,0 +1,55 @@
+"""The block-device contract shared by Trail and the baseline drivers.
+
+The paper's point of comparison is that Trail "exposes exactly the same
+interface as standard disk device drivers" — higher layers (the WAL,
+the buffer pool, the synthetic workloads) are written against this
+contract and run unchanged on :class:`~repro.core.driver.TrailDriver`,
+:class:`~repro.baselines.standard.StandardDriver`, or
+:class:`~repro.baselines.lfs.LfsDriver`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from repro.disk.drive import DiskDrive
+from repro.sim import Event, Simulation
+
+
+class BlockDevice(abc.ABC):
+    """Abstract synchronous-write block device.
+
+    ``write`` returns an event that fires — with the write's
+    end-to-end latency in ms as its value — once the data is *durable*
+    (will survive a power failure).  ``read`` returns an event whose
+    value is the requested bytes.  What durability costs is exactly
+    what distinguishes the implementations.
+
+    Write-ordering contract: writes to the *same* extent (identical
+    LBA and length — a buffer-cache page) are applied in issue order.
+    Writes whose extents overlap without being identical have
+    *undefined relative order*, exactly like a block cache fed
+    mixed-granularity I/O; file systems and databases write uniform
+    aligned pages, which is what every layer in this repository does.
+    """
+
+    sim: Simulation
+    data_disks: Dict[int, DiskDrive]
+
+    @abc.abstractmethod
+    def write(self, lba: int, data: bytes, disk_id: int = 0) -> Event:
+        """Durably write ``data`` at ``lba`` of data disk ``disk_id``."""
+
+    @abc.abstractmethod
+    def read(self, lba: int, nsectors: int, disk_id: int = 0) -> Event:
+        """Read ``nsectors`` from ``lba`` of data disk ``disk_id``."""
+
+    @abc.abstractmethod
+    def flush(self):
+        """Generator: wait until all internal buffers are on disk."""
+
+    @property
+    @abc.abstractmethod
+    def sector_size(self) -> int:
+        """Sector size in bytes."""

@@ -1,0 +1,240 @@
+"""Circular FIFO track allocation for the log disk (§4.2, §4.4).
+
+The entire log disk is a circular buffer whose basic unit is the
+*track*.  The allocator maintains the paper's core invariant — the
+head always sits on a track with enough free space that the next write
+can proceed without overwriting live data — and the FIFO discipline
+that makes Trail's garbage collection free: tracks are reused strictly
+in the order they were filled, and a track is only reclaimed once
+every record on it has been committed to the data disks.
+
+Within the active track the allocator also answers placement queries:
+given the predicted head sector, find the closest free contiguous run
+that can hold a record, which is what bounds rotational latency.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.disk.geometry import DiskGeometry
+from repro.errors import LogDiskFullError, TrailError
+
+
+class TrackAllocator:
+    """Allocates log-disk space in FIFO track order."""
+
+    def __init__(
+        self,
+        geometry: DiskGeometry,
+        usable_tracks: Sequence[int],
+    ) -> None:
+        if not usable_tracks:
+            raise TrailError("allocator needs at least one usable track")
+        if len(set(usable_tracks)) != len(usable_tracks):
+            raise TrailError("usable_tracks contains duplicates")
+        self.geometry = geometry
+        self._tracks: Tuple[int, ...] = tuple(usable_tracks)
+        self._index_of: Dict[int, int] = {
+            track: index for index, track in enumerate(self._tracks)}
+        self._position = 0
+        #: Used (start, length) runs on the current track, sorted.
+        self._used_runs: List[Tuple[int, int]] = []
+        #: Live (uncommitted) record count per in-window track.
+        self._live_counts: Dict[int, int] = {}
+        #: Tracks in fill order that still hold live records (FIFO window).
+        self._window: Deque[int] = deque()
+        #: Final utilization of each retired track, for the §5.2 numbers.
+        self.retired_utilizations: List[float] = []
+        #: Total tracks consumed (advances), for space-efficiency stats.
+        self.tracks_consumed = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def current_track(self) -> int:
+        """The active (tail) track the head is parked on."""
+        return self._tracks[self._position]
+
+    @property
+    def track_count(self) -> int:
+        """Number of tracks in the circular log."""
+        return len(self._tracks)
+
+    @property
+    def live_track_count(self) -> int:
+        """Tracks currently holding at least one uncommitted record."""
+        return sum(1 for count in self._live_counts.values() if count > 0)
+
+    def used_sectors(self, track: Optional[int] = None) -> int:
+        """Used sector count on ``track`` (default: the current track)."""
+        if track is not None and track != self.current_track:
+            raise TrailError(
+                "per-sector accounting only exists for the current track")
+        return sum(length for _start, length in self._used_runs)
+
+    def utilization(self) -> float:
+        """Fraction of the current track already written."""
+        spt = self.geometry.track_sectors(self.current_track)
+        return self.used_sectors() / spt
+
+    def free_sectors(self) -> int:
+        """Free sectors remaining on the current track."""
+        spt = self.geometry.track_sectors(self.current_track)
+        return spt - self.used_sectors()
+
+    def largest_free_run(self) -> int:
+        """Length of the largest contiguous free run on the current track."""
+        spt = self.geometry.track_sectors(self.current_track)
+        best = 0
+        cursor = 0
+        for start, length in self._used_runs:
+            best = max(best, start - cursor)
+            cursor = start + length
+        return max(best, spt - cursor)
+
+    def mean_retired_utilization(self) -> float:
+        """Average final utilization of retired tracks (§5.2 metric)."""
+        if not self.retired_utilizations:
+            return 0.0
+        return sum(self.retired_utilizations) / len(self.retired_utilizations)
+
+    # ------------------------------------------------------------------
+    # Placement on the current track
+
+    def place(self, preferred_sector: int, nsectors: int) -> Optional[int]:
+        """Find a free contiguous run of ``nsectors`` on the current track.
+
+        Prefers the run starting exactly at ``preferred_sector`` (the
+        predicted head position); otherwise returns the start of the
+        next free run at or after it, wrapping to earlier sectors as a
+        last resort.  Returns None if no run fits — the caller should
+        advance to the next track.  Runs never wrap past the end of the
+        track because sector LBAs would not be contiguous.
+        """
+        spt = self.geometry.track_sectors(self.current_track)
+        if not 0 <= preferred_sector < spt:
+            raise TrailError(
+                f"preferred sector {preferred_sector} out of range "
+                f"[0, {spt})")
+        if nsectors < 1 or nsectors > spt:
+            return None
+
+        free_runs = self._free_runs(spt)
+        # Candidate start positions: within each free run, the earliest
+        # position >= preferred that still fits; plus the run start
+        # itself for the wrapped pass.
+        best: Optional[int] = None
+        best_distance: Optional[int] = None
+        for start, length in free_runs:
+            candidate: Optional[int] = None
+            if start + length <= preferred_sector:
+                candidate = None  # run entirely before the head; wrap case
+            elif start >= preferred_sector:
+                candidate = start
+            else:
+                candidate = preferred_sector
+            if candidate is not None and candidate + nsectors <= start + length:
+                distance = candidate - preferred_sector
+                if best_distance is None or distance < best_distance:
+                    best, best_distance = candidate, distance
+        if best is not None:
+            return best
+        # Wrapped pass: any run that fits, closest after wrap-around.
+        for start, length in free_runs:
+            if nsectors <= length:
+                distance = (start - preferred_sector) % spt
+                if best_distance is None or distance < best_distance:
+                    best, best_distance = start, distance
+        return best
+
+    def commit_placement(self, start_sector: int, nsectors: int) -> int:
+        """Mark ``nsectors`` at ``start_sector`` used; returns the LBA.
+
+        Also counts one live record on the current track.
+        """
+        spt = self.geometry.track_sectors(self.current_track)
+        if start_sector < 0 or start_sector + nsectors > spt:
+            raise TrailError(
+                f"placement [{start_sector}, {start_sector + nsectors}) "
+                f"exceeds track size {spt}")
+        for used_start, used_length in self._used_runs:
+            if (start_sector < used_start + used_length
+                    and used_start < start_sector + nsectors):
+                raise TrailError(
+                    f"placement [{start_sector}, {start_sector + nsectors}) "
+                    f"overlaps used run [{used_start}, "
+                    f"{used_start + used_length})")
+        self._used_runs.append((start_sector, nsectors))
+        self._used_runs.sort()
+        track = self.current_track
+        if track not in self._live_counts:
+            self._live_counts[track] = 0
+            self._window.append(track)
+        self._live_counts[track] += 1
+        return self.geometry.track_first_lba(track) + start_sector
+
+    def _free_runs(self, spt: int) -> List[Tuple[int, int]]:
+        runs: List[Tuple[int, int]] = []
+        cursor = 0
+        for start, length in self._used_runs:
+            if start > cursor:
+                runs.append((cursor, start - cursor))
+            cursor = start + length
+        if cursor < spt:
+            runs.append((cursor, spt - cursor))
+        return runs
+
+    # ------------------------------------------------------------------
+    # Track rotation (FIFO)
+
+    def advance(self) -> int:
+        """Move the tail to the next free track and return it.
+
+        Raises :class:`LogDiskFullError` if the next track in circular
+        order still holds live records — the entire log is full (§4.4).
+        """
+        self._reap_window()
+        spt = self.geometry.track_sectors(self.current_track)
+        self.retired_utilizations.append(self.used_sectors() / spt)
+        self.tracks_consumed += 1
+
+        next_position = (self._position + 1) % len(self._tracks)
+        next_track = self._tracks[next_position]
+        if self._live_counts.get(next_track, 0) > 0 or (
+                self._window and self._window[0] == next_track):
+            raise LogDiskFullError(
+                f"log disk full: track {next_track} still holds "
+                f"{self._live_counts.get(next_track, 0)} live records")
+        self._position = next_position
+        self._used_runs = []
+        # Stale accounting from the previous lap, if any.
+        self._live_counts.pop(next_track, None)
+        return next_track
+
+    def record_released(self, track: int) -> None:
+        """One record on ``track`` was committed to its data disk."""
+        count = self._live_counts.get(track)
+        if not count:
+            raise TrailError(
+                f"release on track {track} with no live records")
+        self._live_counts[track] = count - 1
+        self._reap_window()
+
+    def _reap_window(self) -> None:
+        """Free fully committed tracks from the FIFO head.
+
+        A mid-window track whose records all committed early stays
+        allocated until it reaches the head: deallocation is strictly
+        FIFO, which is what keeps Trail's cleaning cost at zero.
+        """
+        while self._window:
+            head = self._window[0]
+            if head == self.current_track:
+                break
+            if self._live_counts.get(head, 0) > 0:
+                break
+            self._window.popleft()
+            self._live_counts.pop(head, None)

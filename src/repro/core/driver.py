@@ -1,0 +1,621 @@
+"""The Trail block-device driver (§4).
+
+A :class:`TrailDriver` fronts one log disk and one or more data disks.
+Synchronous writes are acknowledged as soon as they reach the log disk
+— at the sector the head-position predictor says is about to pass under
+the head — and are propagated to their data disks asynchronously from
+the staging buffer.  Reads are served from the staging buffer when
+possible and otherwise go to the data disks at high priority.
+
+The driver exposes the same interface as a plain disk driver (``read``/
+``write`` by LBA), "thus hiding all the operational details of Trail
+from the file system"; the only observable difference is that
+synchronous writes complete in roughly transfer time plus command
+overhead instead of paying seek and rotational latency.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.blockdev import BlockDevice
+from repro.core.allocator import TrackAllocator
+from repro.core.buffer import BufferManager, LiveRecord
+from repro.core.config import TrailConfig
+from repro.core.format import (
+    BatchEntry, LogDiskHeader, NULL_LBA, RecordHeader, decode_disk_header,
+    decode_geometry, encode_disk_header, encode_geometry, encode_record)
+from repro.core.prediction import HeadPositionPredictor
+from repro.core.recovery import RecoveryManager, RecoveryReport
+from repro.core.writeback import WritebackScheduler
+from repro.disk.controller import PRIORITY_READ
+from repro.disk.drive import DiskDrive
+from repro.disk.geometry import DiskGeometry
+from repro.errors import (
+    DiskHaltedError, LogDiskFullError, NotATrailDiskError, TrailError)
+from repro.sim import (
+    Event, Interrupt, LatencyRecorder, Process, Simulation, Store)
+
+
+@dataclass
+class TrailStats:
+    """Aggregate measurements exposed by a driver instance."""
+
+    #: End-to-end latency of every acknowledged synchronous write.
+    sync_writes: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder(keep_samples=True))
+    #: Payload sectors per physical log write (the realized batch size).
+    batch_sizes: LatencyRecorder = field(default_factory=LatencyRecorder)
+    physical_log_writes: int = 0
+    logical_writes: int = 0
+    repositions: int = 0
+    reads_from_buffer: int = 0
+    reads_from_disk: int = 0
+    log_full_stalls: int = 0
+
+    @property
+    def logging_io_ms(self) -> float:
+        """Total time callers spent blocked on synchronous log writes."""
+        return self.sync_writes.total
+
+
+class _PendingWrite:
+    """One logical synchronous write moving through the log pipeline."""
+
+    __slots__ = ("disk_id", "lba", "data", "nsectors", "arrival", "event",
+                 "remaining", "assigned", "records")
+
+    def __init__(self, disk_id: int, lba: int, data: bytes, nsectors: int,
+                 arrival: float, event: Event) -> None:
+        self.disk_id = disk_id
+        self.lba = lba
+        self.data = data
+        self.nsectors = nsectors
+        self.arrival = arrival
+        self.event = event
+        #: Payload sectors not yet covered by a completed log write.
+        self.remaining = nsectors
+        #: Payload sectors already assigned to a record being emitted
+        #: (a request larger than one record spans several).
+        self.assigned = 0
+        #: Log records carrying pieces of this write.
+        self.records: List[LiveRecord] = []
+
+
+def reserved_layout(
+    geometry: DiskGeometry, config: TrailConfig,
+) -> Tuple[List[int], List[int]]:
+    """Compute (header LBAs, usable tracks) for a log disk.
+
+    The primary header lives at sector 0 of track 0 with the geometry
+    record right after it (§3.2); replicas are spread evenly across the
+    disk "to improve the robustness".  Reserved and replica tracks are
+    excluded from the circular log.
+    """
+    reserved = set(range(config.reserved_tracks))
+    header_lbas = [geometry.track_first_lba(0)]
+    for index in range(1, config.header_replicas + 1):
+        track = (index * geometry.num_tracks) // (config.header_replicas + 1)
+        track = min(track, geometry.num_tracks - 1)
+        if track not in reserved:
+            reserved.add(track)
+            header_lbas.append(geometry.track_first_lba(track))
+    usable = [track for track in range(geometry.num_tracks)
+              if track not in reserved]
+    if not usable:
+        raise TrailError("no usable log tracks after reservation")
+    return header_lbas, usable
+
+
+class TrailDriver(BlockDevice):
+    """Low-write-latency block device built on track-based logging."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        log_drive: DiskDrive,
+        data_disks: Dict[int, DiskDrive],
+        config: Optional[TrailConfig] = None,
+    ) -> None:
+        if not data_disks:
+            raise TrailError("Trail needs at least one data disk")
+        self.sim = sim
+        self.log_drive = log_drive
+        self.data_disks = dict(data_disks)
+        self.config = config or TrailConfig()
+        self.stats = TrailStats()
+
+        self.geometry: Optional[DiskGeometry] = None
+        self.epoch: Optional[int] = None
+        self.allocator: Optional[TrackAllocator] = None
+        self.predictor: Optional[HeadPositionPredictor] = None
+        self.buffers = BufferManager(self._on_record_released)
+        self.writeback = WritebackScheduler(
+            sim, self.data_disks, self.buffers,
+            reads_preempt_writebacks=self.config.reads_preempt_writebacks)
+        self.last_recovery: Optional[RecoveryReport] = None
+
+        self._header_lbas: List[int] = []
+        self._usable_tracks: List[int] = []
+        self._log_queue: Store = Store(sim)
+        #: Requests accepted but not yet acknowledged (queued or being
+        #: assembled into records); failed wholesale on a crash.
+        self._unacked: Dict[int, _PendingWrite] = {}
+        self._live_records: "OrderedDict[int, LiveRecord]" = OrderedDict()
+        self._next_sequence = 0
+        self._last_record_lba = NULL_LBA
+        self._physical_track: Optional[int] = None
+        self._track_freed: Optional[Event] = None
+        self._last_activity = 0.0
+        self._writer_busy = False
+        self._mounted = False
+        self._writer_process: Optional[Process] = None
+        self._repositioner_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    # Formatting and mounting
+
+    @staticmethod
+    def format_disk(log_drive: DiskDrive,
+                    config: Optional[TrailConfig] = None) -> None:
+        """Offline format: wipe the disk, write header + geometry (§4.1)."""
+        config = config or TrailConfig()
+        geometry = log_drive.geometry
+        header_lbas, _usable = reserved_layout(geometry, config)
+        log_drive.store.clear()
+        header = encode_disk_header(LogDiskHeader(epoch=0, crash_var=1),
+                                    geometry.sector_size)
+        geometry_sector = encode_geometry(geometry, geometry.sector_size)
+        for lba in header_lbas:
+            log_drive.store.write_sector(lba, header)
+            log_drive.store.write_sector(lba + 1, geometry_sector)
+
+    def mount(self) -> Generator:
+        """Bring the driver online; run as a sim process.
+
+        Reads the log-disk header, runs crash recovery if the previous
+        session did not shut down cleanly, opens a new epoch, anchors
+        the head-position predictor, and starts the background
+        processes.  Returns the :class:`RecoveryReport` if recovery ran,
+        else None.
+        """
+        if self._mounted:
+            raise TrailError("driver is already mounted")
+        geometry = self.log_drive.geometry
+        self._header_lbas, self._usable_tracks = reserved_layout(
+            geometry, self.config)
+
+        result = yield self.log_drive.read(self._header_lbas[0], 2)
+        try:
+            header = decode_disk_header(result.data[:geometry.sector_size])
+            stored_geometry = decode_geometry(
+                result.data[geometry.sector_size:])
+        except Exception as exc:
+            raise NotATrailDiskError(
+                f"log disk is not Trail-formatted: {exc}") from exc
+        if stored_geometry.total_sectors != geometry.total_sectors:
+            raise NotATrailDiskError(
+                "on-disk geometry record does not match the drive")
+        self.geometry = stored_geometry
+
+        report: Optional[RecoveryReport] = None
+        if header.crash_var == 0:
+            recovery = RecoveryManager(
+                self.sim, self.log_drive, self.geometry,
+                self._usable_tracks, epoch=header.epoch,
+                data_disks=self.data_disks, config=self.config)
+            report = yield from recovery.run()
+            self.last_recovery = report
+
+        self.epoch = header.epoch + 1
+        yield from self._write_headers(crash_var=0)
+
+        self.allocator = TrackAllocator(self.geometry, self._usable_tracks)
+        self.predictor = HeadPositionPredictor(
+            self.geometry,
+            rotation_ms=self.log_drive.rotation.rotation_ms,
+            delta_sectors=self._default_delta())
+        self._next_sequence = 0
+        self._last_record_lba = NULL_LBA
+        self._live_records.clear()
+        self._mounted = True
+        self._last_activity = self.sim.now
+
+        yield from self._anchor_reference()
+        self._writer_process = self.sim.process(
+            self._log_writer(), name="trail-log-writer")
+        self.writeback.start()
+        if self.config.idle_reposition_interval_ms > 0:
+            self._repositioner_process = self.sim.process(
+                self._idle_repositioner(), name="trail-repositioner")
+        return report
+
+    def _default_delta(self) -> int:
+        """Initial δ estimate from the drive's fixed command overhead.
+
+        ``HeadPositionPredictor.calibrate`` measures the real value (the
+        paper's procedure); this estimate — overhead expressed in
+        sector times, plus one sector for the floor() in the prediction
+        formula, plus the configured slack — seeds the predictor so a
+        driver is usable without a calibration pass.
+        """
+        outer_spt = max(zone.sectors_per_track for zone in self.geometry.zones)
+        sector_time = self.log_drive.rotation.rotation_ms / outer_spt
+        overhead_sectors = int(self.log_drive.command_overhead_ms
+                               / sector_time) + 1
+        return overhead_sectors + 1 + self.config.delta_slack_sectors
+
+    def _write_headers(self, crash_var: int) -> Generator:
+        """Persist the global header (and replicas) with ``crash_var``."""
+        sector = encode_disk_header(
+            LogDiskHeader(epoch=self.epoch, crash_var=crash_var),
+            self.geometry.sector_size)
+        geometry_sector = encode_geometry(self.geometry,
+                                          self.geometry.sector_size)
+        for lba in self._header_lbas:
+            yield self.log_drive.write(lba, sector + geometry_sector)
+
+    # ------------------------------------------------------------------
+    # Public block-device interface
+
+    @property
+    def mounted(self) -> bool:
+        """True while the driver is serving requests."""
+        return self._mounted
+
+    @property
+    def sector_size(self) -> int:
+        """Sector size of the managed disks."""
+        return self.log_drive.geometry.sector_size
+
+    def write(self, lba: int, data: bytes, disk_id: int = 0) -> Event:
+        """Synchronous write: the event fires once the data is durable.
+
+        The event's value is the write's end-to-end latency in ms.
+        """
+        self._check_mounted()
+        disk = self._data_disk(disk_id)
+        if not data:
+            raise TrailError("cannot write an empty extent")
+        sector_size = self.sector_size
+        nsectors = (len(data) + sector_size - 1) // sector_size
+        disk.geometry.check_extent(lba, nsectors)
+        padded = data + bytes(nsectors * sector_size - len(data))
+        event = self.sim.event()
+        request = _PendingWrite(disk_id, lba, padded, nsectors,
+                                self.sim.now, event)
+        self.stats.logical_writes += 1
+        self._unacked[id(request)] = request
+        self._log_queue.put(request)
+        return event
+
+    def read(self, lba: int, nsectors: int, disk_id: int = 0) -> Event:
+        """Read: served from the staging buffer or the data disk (§4.3).
+
+        The event's value is the data bytes.
+        """
+        self._check_mounted()
+        disk = self._data_disk(disk_id)
+        disk.geometry.check_extent(lba, nsectors)
+        cached = self.buffers.get_cached(disk_id, lba, nsectors)
+        if cached is not None:
+            self.stats.reads_from_buffer += 1
+            event = self.sim.event()
+            event.succeed(cached)
+            return event
+        self.stats.reads_from_disk += 1
+        return self.sim.process(
+            self._read_through(disk, disk_id, lba, nsectors),
+            name=f"trail-read@{lba}")
+
+    def _read_through(self, disk: DiskDrive, disk_id: int,
+                      lba: int, nsectors: int) -> Generator:
+        result = yield disk.read(lba, nsectors, priority=PRIORITY_READ)
+        data = bytearray(result.data)
+        sector_size = self.sector_size
+        # Overlay any pinned pages that overlap: the buffer holds newer
+        # contents than the data disk until write-back commits.
+        for page in self.buffers.find_covering(disk_id, lba, nsectors):
+            overlap_start = max(lba, page.lba)
+            overlap_end = min(lba + nsectors, page.lba + page.nsectors)
+            for sector in range(overlap_start, overlap_end):
+                src = (sector - page.lba) * sector_size
+                dst = (sector - lba) * sector_size
+                data[dst:dst + sector_size] = page.data[src:src + sector_size]
+        return bytes(data)
+
+    def flush(self) -> Generator:
+        """Wait until every acknowledged write reached its data disk."""
+        self._check_mounted()
+        while (len(self._log_queue) > 0 or self._writer_busy
+               or not self.writeback.quiescent):
+            yield self.sim.timeout(1.0)
+
+    def clean_shutdown(self) -> Generator:
+        """Flush everything and mark the log disk clean (§3.3)."""
+        yield from self.flush()
+        self._stop_background()
+        yield from self._write_headers(crash_var=1)
+        self._mounted = False
+
+    def crash(self) -> None:
+        """Inject a power failure: processes die, host memory is lost.
+
+        The sector stores keep whatever physically reached the platters;
+        a subsequent :meth:`mount` (on a fresh driver over the same
+        drives) will find ``crash_var == 0`` and run recovery.
+        """
+        self._stop_background()
+        self._mounted = False
+        self._log_queue.drain()
+        for request in list(self._unacked.values()):
+            if not request.event.triggered:
+                request.event.fail(DiskHaltedError("power failure"))
+                request.event.defuse()
+        self._unacked.clear()
+        self.buffers.drop_all()
+        self.log_drive.halt()
+        for disk in self.data_disks.values():
+            disk.halt()
+
+    def _stop_background(self) -> None:
+        for process in (self._writer_process, self._repositioner_process):
+            if process is not None and process.is_alive:
+                process.interrupt("shutdown")
+        self._writer_process = None
+        self._repositioner_process = None
+        self.writeback.stop()
+
+    # ------------------------------------------------------------------
+    # Log-writer process (§4.2)
+
+    def _log_writer(self) -> Generator:
+        try:
+            while True:
+                first = yield self._log_queue.get()
+                self._writer_busy = True
+                pending: Deque[_PendingWrite] = deque([first])
+                if self.config.batching_enabled:
+                    pending.extend(self._log_queue.drain())
+                while pending:
+                    yield from self._write_record(pending)
+                    if self.config.batching_enabled:
+                        pending.extend(self._log_queue.drain())
+                self._writer_busy = False
+                self._last_activity = self.sim.now
+        except Interrupt:
+            self._writer_busy = False
+            return
+        except DiskHaltedError:
+            self._writer_busy = False
+            return
+
+    def _write_record(self, pending: Deque[_PendingWrite]) -> Generator:
+        """Assemble one write record from ``pending`` and put it on disk."""
+        # Ensure the current track can hold a header plus >= 1 payload
+        # sector; otherwise move on (writes pay the switch themselves).
+        while (self.allocator.largest_free_run() < 2
+               or self.allocator.utilization() >= 1.0):
+            yield from self._advance_track()
+
+        capacity = min(self.config.max_batch_sectors,
+                       self.allocator.largest_free_run() - 1)
+        spans: List[Tuple[_PendingWrite, int, int]] = []
+        total = 0
+        while pending and total < capacity:
+            request = pending[0]
+            take = min(request.nsectors - request.assigned, capacity - total)
+            spans.append((request, request.assigned, take))
+            request.assigned += take
+            total += take
+            if request.assigned == request.nsectors:
+                pending.popleft()
+
+        track = self.allocator.current_track
+        predicted = self.predictor.predict_sector(
+            self.sim.now + self._pending_move_ms(track), track)
+        start_sector = self.allocator.place(predicted, 1 + total)
+        if start_sector is None:
+            yield from self._advance_track()
+            yield from self._write_record_spans(spans, pending)
+            return
+        header_lba = self.allocator.commit_placement(start_sector, 1 + total)
+        yield from self._emit_record(header_lba, track, spans, total)
+        yield from self._after_record(pending)
+
+    def _write_record_spans(
+        self,
+        spans: List[Tuple[_PendingWrite, int, int]],
+        pending: Deque[_PendingWrite],
+    ) -> Generator:
+        """Place already-chosen spans on the (fresh) current track."""
+        total = sum(count for _request, _offset, count in spans)
+        track = self.allocator.current_track
+        predicted = self.predictor.predict_sector(
+            self.sim.now + self._pending_move_ms(track), track)
+        start_sector = self.allocator.place(predicted, 1 + total)
+        if start_sector is None:
+            raise TrailError(
+                f"record of {1 + total} sectors does not fit an empty "
+                f"track of {self.geometry.track_sectors(track)}")
+        header_lba = self.allocator.commit_placement(start_sector, 1 + total)
+        yield from self._emit_record(header_lba, track, spans, total)
+        yield from self._after_record(pending)
+
+    def _after_record(self, pending: Deque[_PendingWrite]) -> Generator:
+        """Post-record track maintenance (§4.2's interrupt handler).
+
+        Past the utilization threshold the tail advances to the next
+        track; the explicit repositioning *read* is issued only when no
+        request is waiting — a queued request's own write moves the
+        head, so the read would be pure added latency.
+        """
+        if (self.allocator.utilization()
+                < self.config.track_utilization_threshold):
+            return
+        yield from self._advance_track()
+        if not pending and len(self._log_queue) == 0:
+            yield from self._reposition_read()
+
+    def _emit_record(
+        self,
+        header_lba: int,
+        track: int,
+        spans: List[Tuple[_PendingWrite, int, int]],
+        total: int,
+    ) -> Generator:
+        sector_size = self.sector_size
+        sequence = self._next_sequence
+        self._next_sequence += 1
+
+        record = LiveRecord(sequence_id=sequence, track=track,
+                            header_lba=header_lba, nsectors=total)
+        if self._live_records:
+            log_head = next(iter(self._live_records.values())).header_lba
+        else:
+            log_head = header_lba
+        self._live_records[sequence] = record
+
+        entries: List[BatchEntry] = []
+        payload_sectors: List[bytes] = []
+        index = 0
+        for request, offset, count in spans:
+            for sector in range(offset, offset + count):
+                raw = request.data[sector * sector_size:
+                                   (sector + 1) * sector_size]
+                entries.append(BatchEntry(
+                    data_lba=request.lba + sector,
+                    log_lba=header_lba + 1 + index,
+                    first_data_byte=raw[0],
+                    data_major=request.disk_id, data_minor=0))
+                payload_sectors.append(raw)
+                index += 1
+
+        header = RecordHeader(
+            epoch=self.epoch, sequence_id=sequence,
+            prev_sect=self._last_record_lba, log_head=log_head,
+            entries=tuple(entries))
+        blob = b"".join(encode_record(header, payload_sectors, sector_size))
+
+        result = yield self.log_drive.write(header_lba, blob)
+
+        self._last_record_lba = header_lba
+        self._physical_track = track
+        self.predictor.set_reference(self.sim.now, header_lba + total)
+        self.predictor.realized_rotation.record(result.rotation_ms)
+        self.stats.physical_log_writes += 1
+        self.stats.batch_sizes.record(total)
+        self._last_activity = self.sim.now
+
+        for request, _offset, count in spans:
+            request.remaining -= count
+            request.records.append(record)
+            if request.remaining == 0:
+                page, version = self.buffers.pin(
+                    request.disk_id, request.lba, request.data, sector_size)
+                for owner in request.records:
+                    self.buffers.attach(owner, page, version)
+                self.writeback.enqueue(page)
+                latency = self.sim.now - request.arrival
+                self.stats.sync_writes.record(latency)
+                self._unacked.pop(id(request), None)
+                request.event.succeed(latency)
+
+    # ------------------------------------------------------------------
+    # Track movement
+
+    def _pending_move_ms(self, target_track: int) -> float:
+        """Estimated head-move time the next command will pay."""
+        if self._physical_track is None or self._physical_track == target_track:
+            return 0.0
+        from_cyl, from_head = self.geometry.track_location(
+            self._physical_track)
+        to_cyl, to_head = self.geometry.track_location(target_track)
+        return self.log_drive.seek.reposition_time(
+            from_cyl, from_head, to_cyl, to_head)
+
+    def _advance_track(self) -> Generator:
+        """Move the tail to the next free track, waiting if the log is full."""
+        while True:
+            try:
+                self.allocator.advance()
+                return
+            except LogDiskFullError:
+                self.stats.log_full_stalls += 1
+                self._track_freed = self.sim.event()
+                yield self._track_freed
+
+    def _reposition_read(self) -> Generator:
+        """Park the head on the new track with an explicit read (§4.2)."""
+        track = self.allocator.current_track
+        target_sector = self.predictor.predict_sector(
+            self.sim.now + self._pending_move_ms(track), track)
+        target_lba = self.geometry.track_first_lba(track) + target_sector
+        yield self.log_drive.read(target_lba, 1)
+        self._physical_track = track
+        self.predictor.set_reference(self.sim.now, target_lba)
+        self.stats.repositions += 1
+        self._last_activity = self.sim.now
+
+    def _anchor_reference(self) -> Generator:
+        """Initial anchor: read one sector of the current track."""
+        track = self.allocator.current_track
+        anchor_lba = self.geometry.track_first_lba(track)
+        yield self.log_drive.read(anchor_lba, 1)
+        self._physical_track = track
+        self.predictor.set_reference(self.sim.now, anchor_lba)
+
+    def _idle_repositioner(self) -> Generator:
+        """Periodically re-anchor the prediction reference (§3.1).
+
+        Rotation-speed drift makes predictions stale during long idle
+        stretches; a cheap read on the current track refreshes the
+        reference point.  Only runs when the log disk is idle, so the
+        cost is invisible to foreground writes.
+        """
+        interval = self.config.idle_reposition_interval_ms
+        try:
+            while True:
+                yield self.sim.timeout(interval)
+                if not self._mounted:
+                    return
+                if (self._writer_busy or len(self._log_queue) > 0
+                        or self.sim.now - self._last_activity < interval):
+                    continue
+                track = self.allocator.current_track
+                target_sector = self.predictor.predict_sector(
+                    self.sim.now + self._pending_move_ms(track), track)
+                target_lba = (self.geometry.track_first_lba(track)
+                              + target_sector)
+                yield self.log_drive.read(target_lba, 1)
+                self._physical_track = track
+                self.predictor.set_reference(self.sim.now, target_lba)
+                self.stats.repositions += 1
+                self._last_activity = self.sim.now
+        except (Interrupt, DiskHaltedError):
+            return
+
+    # ------------------------------------------------------------------
+    # Record lifecycle
+
+    def _on_record_released(self, record: LiveRecord) -> None:
+        """A record's pages all committed: free its log-disk space."""
+        self.allocator.record_released(record.track)
+        self._live_records.pop(record.sequence_id, None)
+        if self._track_freed is not None and not self._track_freed.triggered:
+            self._track_freed.succeed()
+            self._track_freed = None
+
+    # ------------------------------------------------------------------
+
+    def _data_disk(self, disk_id: int) -> DiskDrive:
+        disk = self.data_disks.get(disk_id)
+        if disk is None:
+            raise TrailError(f"unknown data disk id {disk_id}")
+        return disk
+
+    def _check_mounted(self) -> None:
+        if not self._mounted:
+            raise TrailError("driver is not mounted")

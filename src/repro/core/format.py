@@ -1,0 +1,308 @@
+"""On-disk structures of the Trail log: the self-describing format (§3.2).
+
+Two structures live on the log disk:
+
+* the global ``log_disk_header`` (signature, epoch, crash flag) stored
+  on the first track and replicated elsewhere, followed by a geometry
+  record so recovery code can interpret track boundaries; and
+* one ``write record`` per physical log write: a one-sector record
+  header followed by the payload sectors.
+
+The format is *self-describing without bit stuffing*: every record
+header sector begins with ``0xFF`` and every payload sector with
+``0x00``; each payload sector's original first byte is displaced into
+the header's ``first_data_byte[]`` array and restored on recovery.
+Together with the signature, epoch, and monotonically increasing
+sequence id, a scan can unambiguously identify record boundaries on a
+raw track.
+
+All integers are little-endian.  One header sector holds the fixed
+fields plus up to :data:`~repro.core.config.MAX_TRAIL_BATCH` batch
+entries of 11 bytes each.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import MAX_TRAIL_BATCH, TRAIL_SIGNATURE
+from repro.disk.geometry import DiskGeometry, Zone
+from repro.errors import LogFormatError
+from repro.units import SECTOR_SIZE
+
+#: Marker byte opening every record-header sector.
+HEADER_FIRST_BYTE = 0xFF
+#: Marker byte forced onto every payload sector.
+PAYLOAD_FIRST_BYTE = 0x00
+
+#: Sentinel LBA meaning "no such sector" (prev_sect of the first record).
+NULL_LBA = 0xFFFFFFFF
+
+_SIG_LEN = len(TRAIL_SIGNATURE)
+
+# first_byte, signature, epoch, sequence_id, prev_sect, log_head,
+# payload_crc, batch_size.  The CRC covers the *masked* payload sectors
+# exactly as they lie on the platter: a crash can tear a record (header
+# sector persisted, payload sectors not — only ever the youngest record,
+# because log writes are strictly sequential), and recovery must detect
+# and discard such a record rather than replay garbage.  The paper's
+# format predates this concern; the CRC is the one extension we add.
+_FIXED_FMT = f"<B{_SIG_LEN}sIIIIIH"
+_FIXED_SIZE = struct.calcsize(_FIXED_FMT)
+
+# first_data_byte, log_lba, data_lba, data_major, data_minor
+_ENTRY_FMT = "<BIIBB"
+_ENTRY_SIZE = struct.calcsize(_ENTRY_FMT)
+
+assert _FIXED_SIZE + MAX_TRAIL_BATCH * _ENTRY_SIZE <= SECTOR_SIZE, (
+    "record header must fit one sector")
+
+# signature, magic, epoch, crash_var
+_DISK_HEADER_FMT = f"<{_SIG_LEN}sIIi"
+_DISK_HEADER_MAGIC = 0x7452_0001  # 'tR' + format version 1
+
+# heads, sector_size, zone_count then per zone: cylinder_count, spt
+_GEOMETRY_FIXED_FMT = "<HHH"
+_GEOMETRY_ZONE_FMT = "<II"
+
+
+@dataclass(frozen=True)
+class BatchEntry:
+    """One logged sector inside a write record."""
+
+    #: Target LBA on the data disk this sector ultimately belongs to.
+    data_lba: int
+    #: LBA on the log disk where the payload sector was written.
+    log_lba: int
+    #: The payload's original first byte, displaced by the 0x00 marker.
+    first_data_byte: int
+    #: Major/minor device number of the target data disk.
+    data_major: int = 0
+    data_minor: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.first_data_byte <= 0xFF:
+            raise LogFormatError(
+                f"first_data_byte out of range: {self.first_data_byte}")
+
+
+@dataclass(frozen=True)
+class RecordHeader:
+    """Decoded contents of a record-header sector."""
+
+    epoch: int
+    sequence_id: int
+    #: Log-disk LBA of the previous record's header (NULL_LBA if none).
+    prev_sect: int
+    #: Log-disk LBA of the oldest uncommitted record's header at the
+    #: time this record was written — the recovery scan bound (§3.3).
+    log_head: int
+    entries: Tuple[BatchEntry, ...]
+    #: CRC-32 of the masked payload sectors as written (torn-record
+    #: detection; filled in by :func:`encode_record`).
+    payload_crc: int = 0
+
+    @property
+    def batch_size(self) -> int:
+        """Number of logged sectors in this record."""
+        return len(self.entries)
+
+
+@dataclass(frozen=True)
+class LogDiskHeader:
+    """Decoded contents of the global log-disk header sector."""
+
+    epoch: int
+    #: 0 while mounted (dirty); 1 after a clean shutdown (§3.3).
+    crash_var: int
+
+
+def encode_record(
+    header: RecordHeader,
+    payload_sectors: Sequence[bytes],
+    sector_size: int = SECTOR_SIZE,
+) -> List[bytes]:
+    """Serialize a write record into on-disk sectors.
+
+    ``payload_sectors[i]`` is the *original* content of the sector
+    described by ``header.entries[i]``; its first byte must equal that
+    entry's ``first_data_byte`` and is replaced by the 0x00 marker in
+    the returned encoding.  Returns ``1 + batch_size`` sectors: the
+    header sector followed by the masked payloads.
+    """
+    if len(payload_sectors) != len(header.entries):
+        raise LogFormatError(
+            f"{len(header.entries)} entries but {len(payload_sectors)} "
+            "payload sectors")
+    if len(header.entries) > MAX_TRAIL_BATCH:
+        raise LogFormatError(
+            f"batch of {len(header.entries)} exceeds MAX_TRAIL_BATCH="
+            f"{MAX_TRAIL_BATCH}")
+
+    masked: List[bytes] = []
+    for entry, payload in zip(header.entries, payload_sectors):
+        if len(payload) != sector_size:
+            raise LogFormatError(
+                f"payload sector must be {sector_size} bytes, got "
+                f"{len(payload)}")
+        if payload[0] != entry.first_data_byte:
+            raise LogFormatError(
+                "entry.first_data_byte does not match the payload's "
+                f"first byte ({entry.first_data_byte} != {payload[0]})")
+        masked.append(bytes([PAYLOAD_FIRST_BYTE]) + payload[1:])
+
+    crc = payload_crc32(masked)
+    packed = bytearray(struct.pack(
+        _FIXED_FMT, HEADER_FIRST_BYTE, TRAIL_SIGNATURE, header.epoch,
+        header.sequence_id, header.prev_sect, header.log_head,
+        crc, len(header.entries)))
+    for entry in header.entries:
+        packed += struct.pack(
+            _ENTRY_FMT, entry.first_data_byte, entry.log_lba,
+            entry.data_lba, entry.data_major, entry.data_minor)
+    packed += bytes(sector_size - len(packed))
+    return [bytes(packed)] + masked
+
+
+def payload_crc32(masked_sectors: Sequence[bytes]) -> int:
+    """CRC-32 over the on-platter (masked) payload sector images."""
+    crc = 0
+    for sector in masked_sectors:
+        crc = zlib.crc32(sector, crc)
+    return crc
+
+
+def decode_record_header(
+    sector: bytes,
+    expected_epoch: Optional[int] = None,
+) -> RecordHeader:
+    """Parse and validate a record-header sector.
+
+    Raises :class:`LogFormatError` if the sector is not a valid Trail
+    record header (wrong marker byte, signature, or an epoch mismatch
+    when ``expected_epoch`` is given) — the recovery scanner relies on
+    this to reject payload sectors and stale garbage.
+    """
+    if len(sector) < _FIXED_SIZE:
+        raise LogFormatError(f"sector too short: {len(sector)} bytes")
+    (first_byte, signature, epoch, sequence_id, prev_sect, log_head,
+     payload_crc, batch_size) = struct.unpack_from(_FIXED_FMT, sector)
+    if first_byte != HEADER_FIRST_BYTE:
+        raise LogFormatError(
+            f"not a record header: first byte {first_byte:#04x}")
+    if signature != TRAIL_SIGNATURE:
+        raise LogFormatError(f"bad record signature: {signature!r}")
+    if batch_size > MAX_TRAIL_BATCH:
+        raise LogFormatError(f"batch_size {batch_size} exceeds maximum")
+    if expected_epoch is not None and epoch != expected_epoch:
+        raise LogFormatError(
+            f"record epoch {epoch} != expected {expected_epoch}")
+    if len(sector) < _FIXED_SIZE + batch_size * _ENTRY_SIZE:
+        raise LogFormatError("sector too short for declared batch size")
+
+    entries = []
+    offset = _FIXED_SIZE
+    for _ in range(batch_size):
+        first_data_byte, log_lba, data_lba, major, minor = struct.unpack_from(
+            _ENTRY_FMT, sector, offset)
+        offset += _ENTRY_SIZE
+        entries.append(BatchEntry(
+            data_lba=data_lba, log_lba=log_lba,
+            first_data_byte=first_data_byte,
+            data_major=major, data_minor=minor))
+    return RecordHeader(epoch=epoch, sequence_id=sequence_id,
+                        prev_sect=prev_sect, log_head=log_head,
+                        entries=tuple(entries), payload_crc=payload_crc)
+
+
+def is_record_header(sector: bytes, expected_epoch: Optional[int] = None) -> bool:
+    """Cheap predicate used by track scans."""
+    try:
+        decode_record_header(sector, expected_epoch)
+        return True
+    except LogFormatError:
+        return False
+
+
+def restore_payload(entry: BatchEntry, masked_sector: bytes) -> bytes:
+    """Undo the 0x00 first-byte masking of a logged payload sector."""
+    if not masked_sector:
+        raise LogFormatError("empty payload sector")
+    if masked_sector[0] != PAYLOAD_FIRST_BYTE:
+        raise LogFormatError(
+            f"payload sector does not start with the 0x00 marker: "
+            f"{masked_sector[0]:#04x}")
+    return bytes([entry.first_data_byte]) + masked_sector[1:]
+
+
+# ----------------------------------------------------------------------
+# Global log-disk header and geometry record
+
+
+def encode_disk_header(
+    header: LogDiskHeader, sector_size: int = SECTOR_SIZE,
+) -> bytes:
+    """Serialize the global log-disk header into one sector."""
+    packed = struct.pack(_DISK_HEADER_FMT, TRAIL_SIGNATURE,
+                         _DISK_HEADER_MAGIC, header.epoch, header.crash_var)
+    return packed + bytes(sector_size - len(packed))
+
+
+def decode_disk_header(sector: bytes) -> LogDiskHeader:
+    """Parse the global log-disk header; raises if not a Trail disk."""
+    if len(sector) < struct.calcsize(_DISK_HEADER_FMT):
+        raise LogFormatError("disk-header sector too short")
+    signature, magic, epoch, crash_var = struct.unpack_from(
+        _DISK_HEADER_FMT, sector)
+    if signature != TRAIL_SIGNATURE:
+        raise LogFormatError(
+            f"disk signature {signature!r} is not a Trail log disk")
+    if magic != _DISK_HEADER_MAGIC:
+        raise LogFormatError(f"unknown format version magic {magic:#x}")
+    return LogDiskHeader(epoch=epoch, crash_var=crash_var)
+
+
+def encode_geometry(
+    geometry: DiskGeometry, sector_size: int = SECTOR_SIZE,
+) -> bytes:
+    """Serialize the physical-geometry record stored next to the header.
+
+    §4.1: "The formatting tool writes the log disk's physical geometry
+    data ... to the dedicated tracks"; §3.1 needs it back at boot for
+    the prediction formula.
+    """
+    packed = bytearray(struct.pack(
+        _GEOMETRY_FIXED_FMT, geometry.heads, geometry.sector_size,
+        len(geometry.zones)))
+    for zone in geometry.zones:
+        packed += struct.pack(_GEOMETRY_ZONE_FMT, zone.cylinder_count,
+                              zone.sectors_per_track)
+    if len(packed) > sector_size:
+        raise LogFormatError(
+            f"geometry with {len(geometry.zones)} zones does not fit one "
+            "sector")
+    return bytes(packed) + bytes(sector_size - len(packed))
+
+
+def decode_geometry(sector: bytes) -> DiskGeometry:
+    """Reconstruct a :class:`DiskGeometry` from its on-disk record."""
+    if len(sector) < struct.calcsize(_GEOMETRY_FIXED_FMT):
+        raise LogFormatError("geometry sector too short")
+    heads, sector_size, zone_count = struct.unpack_from(
+        _GEOMETRY_FIXED_FMT, sector)
+    zones = []
+    offset = struct.calcsize(_GEOMETRY_FIXED_FMT)
+    for _ in range(zone_count):
+        if offset + struct.calcsize(_GEOMETRY_ZONE_FMT) > len(sector):
+            raise LogFormatError("geometry sector truncated")
+        cylinder_count, spt = struct.unpack_from(
+            _GEOMETRY_ZONE_FMT, sector, offset)
+        offset += struct.calcsize(_GEOMETRY_ZONE_FMT)
+        zones.append(Zone(cylinder_count=cylinder_count,
+                          sectors_per_track=spt))
+    if not zones:
+        raise LogFormatError("geometry record has no zones")
+    return DiskGeometry(heads=heads, zones=zones, sector_size=sector_size)

@@ -1,0 +1,336 @@
+"""Crash recovery for the Trail log disk (§3.3, Figure 4).
+
+Recovery runs in three steps, each timed separately so the Figure 4(a)
+breakdown can be reproduced:
+
+1. **Locate** the youngest active write record — the one whose epoch
+   matches the log-disk header and whose sequence id is the global
+   maximum.  Because the circular log fills tracks in a fixed physical
+   order, each track's newest sequence id is "rotated sorted" across
+   the track ring, so a binary search needs only O(lg N) track scans
+   (~20 for the paper's 35,717-track disk) instead of reading the whole
+   disk.
+2. **Rebuild** the chain of potentially uncommitted records by walking
+   the ``prev_sect`` back pointers, stopping at the youngest record's
+   ``log_head`` bound — the oldest record that was uncommitted when the
+   youngest was written.  Everything older is already on the data disks.
+3. **Write back** the pending records to the data disks in increasing
+   sequence order (issue order), restoring each payload sector's
+   displaced first byte.  This step is optional: skipping it does not
+   compromise integrity because the log-disk copy persists (Fig. 4(b)),
+   and it dominates recovery time because its data-disk accesses are
+   random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.core.config import TrailConfig
+from repro.core.format import (
+    RecordHeader, NULL_LBA, decode_record_header, payload_crc32,
+    restore_payload)
+from repro.disk.drive import DiskDrive
+from repro.disk.geometry import DiskGeometry
+from repro.errors import LogFormatError, RecoveryError
+from repro.sim import Simulation
+
+
+@dataclass
+class LocatedRecord:
+    """A record header found on disk, with its own address."""
+
+    header_lba: int
+    header: RecordHeader
+
+
+@dataclass
+class RecoveryReport:
+    """Timing and volume breakdown of one recovery run (Figure 4)."""
+
+    locate_ms: float = 0.0
+    rebuild_ms: float = 0.0
+    writeback_ms: float = 0.0
+    tracks_scanned: int = 0
+    records_found: int = 0
+    sectors_replayed: int = 0
+    data_writes_issued: int = 0
+    writeback_performed: bool = False
+    #: Youngest records discarded because the crash tore them (header
+    #: on the platter, payload incomplete).  A torn record was never
+    #: acknowledged, so dropping it loses nothing.
+    torn_records_dropped: int = 0
+    youngest_sequence: Optional[int] = None
+    #: The pending chain, oldest first (exposed so a caller that skips
+    #: the write-back step can hand the records to a background process).
+    pending: List[LocatedRecord] = field(default_factory=list)
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end recovery time."""
+        return self.locate_ms + self.rebuild_ms + self.writeback_ms
+
+
+class RecoveryManager:
+    """Executes the three-step recovery procedure as a sim process."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        log_drive: DiskDrive,
+        geometry: DiskGeometry,
+        usable_tracks: Sequence[int],
+        epoch: int,
+        data_disks: Dict[int, DiskDrive],
+        config: Optional[TrailConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.log_drive = log_drive
+        self.geometry = geometry
+        self.usable_tracks = tuple(usable_tracks)
+        self.epoch = epoch
+        self.data_disks = data_disks
+        self.config = config or TrailConfig()
+        self._track_cache: Dict[int, Optional[LocatedRecord]] = {}
+        self._report = RecoveryReport()
+
+    def run(self) -> Generator:
+        """Full recovery; yields disk I/O, returns a RecoveryReport."""
+        report = self._report
+        start = self.sim.now
+
+        youngest = yield from self._locate()
+        youngest = yield from self._discard_torn(youngest)
+        report.locate_ms = self.sim.now - start
+        if youngest is None:
+            return report
+        report.youngest_sequence = youngest.header.sequence_id
+
+        rebuild_start = self.sim.now
+        chain = yield from self._rebuild(youngest)
+        report.rebuild_ms = self.sim.now - rebuild_start
+        report.records_found = len(chain)
+        report.pending = chain
+
+        if self.config.recovery_writeback:
+            writeback_start = self.sim.now
+            yield from self.replay(chain)
+            report.writeback_ms = self.sim.now - writeback_start
+            report.writeback_performed = True
+        return report
+
+    # ------------------------------------------------------------------
+    # Step 1: locate the youngest active record
+
+    def _locate(self) -> Generator:
+        if self.config.binary_search_recovery:
+            return (yield from self._locate_binary())
+        return (yield from self._locate_sequential())
+
+    def _locate_sequential(self) -> Generator:
+        """Scan every track; baseline for the binary-search ablation."""
+        youngest: Optional[LocatedRecord] = None
+        for position in range(len(self.usable_tracks)):
+            candidate = yield from self._scan_position(position)
+            if candidate is not None and (
+                    youngest is None
+                    or candidate.header.sequence_id
+                    > youngest.header.sequence_id):
+                youngest = candidate
+        return youngest
+
+    def _locate_binary(self) -> Generator:
+        """O(lg N) track scans via the rotated-order property.
+
+        Writes fill usable tracks in a fixed circular order starting at
+        position 0 each epoch, so each position's newest sequence id is
+        non-decreasing along the current lap and strictly greater than
+        every value left over from the previous lap.  The predicate
+        "position i holds a current-epoch record with sequence id >=
+        the one at position 0" is therefore true on a prefix [0, p] and
+        false after it, and the youngest record sits at position p.
+        """
+        first = yield from self._scan_position(0)
+        if first is None:
+            # Position 0 is written before any other track each epoch;
+            # nothing there means no records at all this epoch.
+            return None
+        base_sequence = first.header.sequence_id
+
+        low, high = 0, len(self.usable_tracks) - 1
+        # Invariant: predicate(low) is true; find the last true position.
+        while low < high:
+            mid = (low + high + 1) // 2
+            candidate = yield from self._scan_position(mid)
+            if (candidate is not None
+                    and candidate.header.sequence_id >= base_sequence):
+                low = mid
+            else:
+                high = mid - 1
+        return (yield from self._scan_position(low))
+
+    def _scan_position(self, position: int) -> Generator:
+        """Read one track and return its youngest current-epoch record."""
+        track = self.usable_tracks[position]
+        if track in self._track_cache:
+            return self._track_cache[track]
+        first_lba = self.geometry.track_first_lba(track)
+        nsectors = self.geometry.track_sectors(track)
+        result = yield self.log_drive.read(first_lba, nsectors)
+        self._report.tracks_scanned += 1
+        sector_size = self.geometry.sector_size
+        youngest: Optional[LocatedRecord] = None
+        for index in range(nsectors):
+            raw = result.data[index * sector_size:(index + 1) * sector_size]
+            try:
+                header = decode_record_header(raw, expected_epoch=self.epoch)
+            except LogFormatError:
+                continue
+            if (youngest is None
+                    or header.sequence_id > youngest.header.sequence_id):
+                youngest = LocatedRecord(header_lba=first_lba + index,
+                                         header=header)
+        self._track_cache[track] = youngest
+        return youngest
+
+    def _discard_torn(self, located: Optional[LocatedRecord]) -> Generator:
+        """Drop the youngest record if the crash tore it.
+
+        Log writes are strictly sequential (one physical command at a
+        time), so only the globally youngest record can have a
+        persisted header with an incomplete payload — and its write
+        never completed, so it was never acknowledged.  Verify its
+        payload CRC; on mismatch, step back along ``prev_sect``.
+        """
+        while located is not None:
+            header = located.header
+            if header.batch_size == 0:
+                return located
+            result = yield self.log_drive.read(located.header_lba + 1,
+                                               header.batch_size)
+            sector_size = self.geometry.sector_size
+            masked = [result.data[index * sector_size:
+                                  (index + 1) * sector_size]
+                      for index in range(header.batch_size)]
+            if payload_crc32(masked) == header.payload_crc:
+                return located
+            self._report.torn_records_dropped += 1
+            prev_lba = header.prev_sect
+            if prev_lba == NULL_LBA:
+                return None
+            result = yield self.log_drive.read(prev_lba, 1)
+            try:
+                prev_header = decode_record_header(
+                    result.data, expected_epoch=self.epoch)
+            except LogFormatError:
+                return None
+            located = LocatedRecord(header_lba=prev_lba,
+                                    header=prev_header)
+        return located
+
+    # ------------------------------------------------------------------
+    # Step 2: rebuild the pending chain
+
+    def _rebuild(self, youngest: LocatedRecord) -> Generator:
+        """Walk prev_sect back to the log_head bound; oldest first."""
+        bound = (youngest.header.log_head
+                 if self.config.log_head_bound_enabled else NULL_LBA)
+        chain: List[LocatedRecord] = [youngest]
+        seen = {youngest.header_lba}
+        current = youngest
+        while True:
+            if current.header_lba == bound:
+                break  # the log_head record itself is the oldest pending
+            prev_lba = current.header.prev_sect
+            if prev_lba == NULL_LBA:
+                break
+            if prev_lba in seen:
+                raise RecoveryError(
+                    f"prev_sect cycle detected at LBA {prev_lba}")
+            result = yield self.log_drive.read(prev_lba, 1)
+            try:
+                header = decode_record_header(
+                    result.data, expected_epoch=self.epoch)
+            except LogFormatError:
+                # The chain ran into a sector overwritten by an older
+                # epoch or reclaimed space: everything older is already
+                # committed.
+                break
+            if header.sequence_id >= current.header.sequence_id:
+                raise RecoveryError(
+                    "prev_sect chain is not decreasing in sequence id "
+                    f"({header.sequence_id} >= "
+                    f"{current.header.sequence_id})")
+            current = LocatedRecord(header_lba=prev_lba, header=header)
+            seen.add(prev_lba)
+            chain.append(current)
+        chain.reverse()
+        return chain
+
+    # ------------------------------------------------------------------
+    # Step 3: write pending records back to the data disks
+
+    def replay(self, chain: Sequence[LocatedRecord]) -> Generator:
+        """Propagate pending records to the data disks in issue order.
+
+        Public so that a caller who deferred the write-back step
+        (Fig. 4(b)) can run it in the background after recovery returns.
+        """
+        sector_size = self.geometry.sector_size
+        for located in sorted(chain, key=lambda r: r.header.sequence_id):
+            header = located.header
+            if header.batch_size == 0:
+                continue
+            payload = yield self.log_drive.read(
+                located.header_lba + 1, header.batch_size)
+            masked = [payload.data[index * sector_size:
+                                   (index + 1) * sector_size]
+                      for index in range(header.batch_size)]
+            if payload_crc32(masked) != header.payload_crc:
+                # Only the youngest record can legally be torn, and
+                # _discard_torn already handled it.
+                raise RecoveryError(
+                    f"record {header.sequence_id} payload is corrupt")
+            restored: List[bytes] = []
+            for index, entry in enumerate(header.entries):
+                raw = masked[index]
+                if entry.log_lba != located.header_lba + 1 + index:
+                    raise RecoveryError(
+                        f"record {header.sequence_id} entry {index} log "
+                        f"LBA {entry.log_lba} is not contiguous with its "
+                        "header")
+                restored.append(restore_payload(entry, raw))
+            # Group consecutive entries targeting contiguous data-disk
+            # sectors into single writes.
+            for disk_id, lba, data in _coalesce(header, restored):
+                disk = self.data_disks.get(disk_id)
+                if disk is None:
+                    raise RecoveryError(
+                        f"record {header.sequence_id} targets unknown "
+                        f"data disk {disk_id}")
+                yield disk.write(lba, data)
+                self._report.data_writes_issued += 1
+            self._report.sectors_replayed += header.batch_size
+
+
+def _coalesce(
+    header: RecordHeader, restored: Sequence[bytes],
+) -> List[Tuple[int, int, bytes]]:
+    """Merge adjacent entries with contiguous data-disk targets."""
+    groups: List[Tuple[int, int, bytes]] = []
+    current_disk: Optional[int] = None
+    current_lba = 0
+    current_data = b""
+    for entry, data in zip(header.entries, restored):
+        disk_id = entry.data_major
+        if (current_disk == disk_id
+                and entry.data_lba == current_lba + len(current_data) // len(data)):
+            current_data += data
+        else:
+            if current_disk is not None:
+                groups.append((current_disk, current_lba, current_data))
+            current_disk, current_lba, current_data = disk_id, entry.data_lba, bytes(data)
+    if current_disk is not None:
+        groups.append((current_disk, current_lba, current_data))
+    return groups

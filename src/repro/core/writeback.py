@@ -1,0 +1,106 @@
+"""Asynchronous write-back from host memory to the data disks (§4.1-4.3).
+
+Pending pages are written to their data disks *from the staging buffer,
+not from the log disk* — the log disk's head never leaves the active
+track, which is what preserves the write-where-the-head-is invariant.
+Write-backs are issued at low priority so that data-disk reads, which
+some application is synchronously waiting on, overtake them in each
+drive's command queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.buffer import BufferManager, PendingPage
+from repro.disk.controller import PRIORITY_READ, PRIORITY_WRITE
+from repro.disk.drive import DiskDrive
+from repro.errors import DiskHaltedError, TrailError
+from repro.sim import Process, Simulation, Store
+
+
+class WritebackScheduler:
+    """Drains the pending-page queue onto the data disks."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        data_disks: Dict[int, DiskDrive],
+        buffers: BufferManager,
+        reads_preempt_writebacks: bool = True,
+    ) -> None:
+        if not data_disks:
+            raise TrailError("write-back scheduler needs >= 1 data disk")
+        self.sim = sim
+        self.data_disks = data_disks
+        self.buffers = buffers
+        self._write_priority = (PRIORITY_WRITE if reads_preempt_writebacks
+                                else PRIORITY_READ)
+        self.queue: Store = Store(sim)
+        self.pages_written = 0
+        self.sectors_written = 0
+        self._process: Optional[Process] = None
+        self._idle_event = None
+
+    def start(self) -> Process:
+        """Launch the background drain process."""
+        if self._process is not None and self._process.is_alive:
+            raise TrailError("write-back scheduler already running")
+        self._process = self.sim.process(self._run(), name="trail-writeback")
+        return self._process
+
+    def stop(self) -> None:
+        """Terminate the drain process (used by crash injection)."""
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("stop")
+        self._process = None
+
+    def enqueue(self, page: PendingPage) -> None:
+        """Queue ``page`` for write-back unless one is already queued."""
+        if page.queued or page.in_flight:
+            return
+        page.queued = True
+        self.queue.put(page)
+
+    @property
+    def backlog(self) -> int:
+        """Pages waiting in the write-back queue."""
+        return len(self.queue)
+
+    @property
+    def quiescent(self) -> bool:
+        """True when nothing is queued, in flight, or pinned."""
+        return len(self.queue) == 0 and self.buffers.pending_pages == 0
+
+    # ------------------------------------------------------------------
+
+    def _run(self):
+        from repro.sim import Interrupt
+        try:
+            while True:
+                page = yield self.queue.get()
+                page.queued = False
+                page.in_flight = True
+                version = page.version
+                data = page.data
+                disk = self.data_disks.get(page.disk_id)
+                if disk is None:
+                    raise TrailError(
+                        f"no data disk with id {page.disk_id}")
+                try:
+                    yield disk.write(page.lba, data,
+                                     priority=self._write_priority)
+                except DiskHaltedError:
+                    page.in_flight = False
+                    return  # power failure: recovery will replay the log
+                page.in_flight = False
+                self.pages_written += 1
+                self.sectors_written += page.nsectors
+                fully_committed = self.buffers.committed(page, version)
+                if not fully_committed and not page.queued:
+                    # A newer version arrived while this one was in
+                    # flight; it needs its own write-back.
+                    page.queued = True
+                    self.queue.put(page)
+        except Interrupt:
+            return

@@ -1,0 +1,205 @@
+"""Database buffer pool over a block device.
+
+Fetches are LRU-cached; misses cost a real device read.  Dirty pages
+are written back by a background flusher (like the kernel's pdflush in
+the paper's setup) so that evictions rarely stall a transaction, but an
+eviction that does hit a dirty page pays the write.  The pool only
+tracks page *identity and state* — row contents live in the table
+storage — because what the TPC-C reproduction needs from the pool is
+its I/O traffic, not its bytes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generator, Optional, Tuple
+
+from repro.blockdev import BlockDevice
+from repro.errors import DatabaseError
+from repro.sim import Event, Interrupt, Process, Resource, Simulation
+
+#: Identifies a page: (data disk id, first LBA).
+PageId = Tuple[int, int]
+
+
+@dataclass
+class PoolStats:
+    """Hit/miss and write-back counters."""
+
+    hits: int = 0
+    misses: int = 0
+    dirty_evictions: int = 0
+    background_writes: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class _Frame:
+    __slots__ = ("page_id", "nsectors", "dirty")
+
+    def __init__(self, page_id: PageId, nsectors: int) -> None:
+        self.page_id = page_id
+        self.nsectors = nsectors
+        self.dirty = False
+
+
+class BufferPool:
+    """Fixed-capacity LRU page cache with background write-back."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        device: BlockDevice,
+        capacity_pages: int,
+        page_sectors: int = 8,
+        flush_interval_ms: float = 50.0,
+        flush_batch: int = 16,
+    ) -> None:
+        if capacity_pages < 1:
+            raise DatabaseError(
+                f"pool capacity must be >= 1 page, got {capacity_pages}")
+        self.sim = sim
+        self.device = device
+        self.capacity_pages = capacity_pages
+        self.page_sectors = page_sectors
+        self.page_bytes = page_sectors * device.sector_size
+        self.flush_interval_ms = flush_interval_ms
+        self.flush_batch = flush_batch
+        self.stats = PoolStats()
+        self._frames: "OrderedDict[PageId, _Frame]" = OrderedDict()
+        self._io_lock = Resource(sim, capacity=1)
+        self._flusher: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the background dirty-page flusher."""
+        if self._flusher is not None and self._flusher.is_alive:
+            raise DatabaseError("flusher already running")
+        if self.flush_interval_ms > 0:
+            self._flusher = self.sim.process(self._flush_loop(),
+                                             name="pool-flusher")
+
+    def stop(self) -> None:
+        """Stop the background flusher (shutdown or crash)."""
+        if self._flusher is not None and self._flusher.is_alive:
+            self._flusher.interrupt("stop")
+        self._flusher = None
+
+    @property
+    def dirty_pages(self) -> int:
+        """Number of dirty frames currently cached."""
+        return sum(1 for frame in self._frames.values() if frame.dirty)
+
+    def fetch(self, disk_id: int, lba: int, dirty: bool = False):
+        """Access one page; yield the returned event for the frame.
+
+        ``dirty=True`` marks the page modified (caller will log the
+        change through the WAL; the page itself reaches disk via the
+        flusher or eviction).  Cache hits return an already-fired event
+        (no process spawn — this is every warm TPC-C access).
+        """
+        page_id: PageId = (disk_id, lba)
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self.stats.hits += 1
+            if dirty:
+                frame.dirty = True
+            event = Event(self.sim)
+            event.succeed(frame)
+            return event
+        return self.sim.process(self._fetch(disk_id, lba, dirty),
+                                name=f"pool-fetch@{lba}")
+
+    def _fetch(self, disk_id: int, lba: int, dirty: bool) -> Generator:
+        page_id: PageId = (disk_id, lba)
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self._frames.move_to_end(page_id)
+            self.stats.hits += 1
+            if dirty:
+                frame.dirty = True
+            return frame
+        self.stats.misses += 1
+        yield from self._make_room()
+        yield self.device.read(lba, self.page_sectors, disk_id=disk_id)
+        frame = self._frames.get(page_id)
+        if frame is None:
+            frame = _Frame(page_id, self.page_sectors)
+            self._frames[page_id] = frame
+        if dirty:
+            frame.dirty = True
+        self._frames.move_to_end(page_id)
+        return frame
+
+    def _make_room(self) -> Generator:
+        while len(self._frames) >= self.capacity_pages:
+            victim_id, victim = next(iter(self._frames.items()))
+            if victim.dirty:
+                self.stats.dirty_evictions += 1
+                victim.dirty = False
+                yield self.device.write(
+                    victim_id[1], bytes(self.page_bytes),
+                    disk_id=victim_id[0])
+            self._frames.pop(victim_id, None)
+
+    def preload(self, disk_id: int, lba: int) -> bool:
+        """Install a clean resident frame without I/O (cache warm-up).
+
+        Stands in for the paper's 200,000 warm-up transactions: marks a
+        page resident as if it had been read already.  Returns False
+        (and does nothing) once the pool is full.
+        """
+        if len(self._frames) >= self.capacity_pages:
+            return False
+        page_id: PageId = (disk_id, lba)
+        if page_id not in self._frames:
+            self._frames[page_id] = _Frame(page_id, self.page_sectors)
+        return True
+
+    def flush_all(self) -> Generator:
+        """Write every dirty page (checkpoint / clean shutdown)."""
+        for page_id, frame in list(self._frames.items()):
+            if frame.dirty:
+                frame.dirty = False
+                yield self.device.write(page_id[1], bytes(self.page_bytes),
+                                        disk_id=page_id[0])
+                self.stats.background_writes += 1
+
+    def _flush_loop(self) -> Generator:
+        """Push dirty pages in concurrent batches.
+
+        Like the kernel's flush daemon, a whole batch is submitted to
+        the device queues at once — which is what makes foreground
+        reads queue behind writes on a standard driver, and what
+        Trail's read-priority scheduling exists to avoid.
+        """
+        try:
+            while True:
+                yield self.sim.timeout(self.flush_interval_ms)
+                batch = []
+                for page_id, frame in self._frames.items():
+                    if len(batch) >= self.flush_batch:
+                        break
+                    if frame.dirty:
+                        frame.dirty = False
+                        batch.append(page_id)
+                if not batch:
+                    continue
+                writes = [
+                    self.device.write(lba, bytes(self.page_bytes),
+                                      disk_id=disk_id)
+                    for disk_id, lba in batch
+                ]
+                self.stats.background_writes += len(writes)
+                yield self.sim.all_of(writes)
+        except Interrupt:
+            return

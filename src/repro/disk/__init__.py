@@ -1,0 +1,39 @@
+"""Mechanically explicit disk simulator.
+
+This package substitutes for the paper's physical SCSI/IDE drives: it
+models zoned geometry, the seek arm, the spindle's angular position as
+a function of simulated time, per-command controller overhead, and
+byte-accurate sector contents — everything Trail's head-position
+prediction and crash recovery depend on.
+"""
+
+from repro.disk.controller import (
+    DriveStats, IoResult, Op, PRIORITY_READ, PRIORITY_WRITE)
+from repro.disk.drive import DiskDrive
+from repro.disk.geometry import CHS, DiskGeometry, Zone, uniform_geometry
+from repro.disk.mechanics import RotationModel, SeekModel
+from repro.disk.presets import (
+    DriveSpec, st41601n, tiny_test_disk, wd_caviar_10gb,
+    wd_caviar_capacity_example)
+from repro.disk.sectors import SectorStore
+
+__all__ = [
+    "CHS",
+    "DiskDrive",
+    "DiskGeometry",
+    "DriveSpec",
+    "DriveStats",
+    "IoResult",
+    "Op",
+    "PRIORITY_READ",
+    "PRIORITY_WRITE",
+    "RotationModel",
+    "SectorStore",
+    "SeekModel",
+    "Zone",
+    "st41601n",
+    "tiny_test_disk",
+    "uniform_geometry",
+    "wd_caviar_10gb",
+    "wd_caviar_capacity_example",
+]

@@ -1,0 +1,269 @@
+"""The stateful simulated disk drive.
+
+A :class:`DiskDrive` owns a command queue (one command serviced at a
+time, priority-ordered), the arm/head position, and the sector store.
+Service time for each command is computed mechanically:
+
+``command overhead -> seek/head switch -> rotational wait -> transfer``
+
+with the platter's angular position a global function of simulated
+time.  This is the property that makes Trail reproducible in software:
+if the driver addresses a write at the sector that will be under the
+head when the transfer is ready to start, the rotational wait term is
+~0; if it mispredicts by even one sector the wait is nearly a full
+revolution.  Nothing in the drive knows about Trail — it just services
+addressed commands like a real SCSI target.
+
+Power failure is modelled by :meth:`halt`: the in-flight command is
+interrupted, whole sectors already transferred persist in the store,
+and everything else is lost.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Set
+
+from repro.errors import DiskHaltedError
+from repro.disk.controller import (
+    DriveStats, IoResult, Op, PRIORITY_READ, _Segment)
+from repro.disk.geometry import DiskGeometry
+from repro.disk.mechanics import RotationModel, SeekModel
+from repro.disk.sectors import SectorStore
+from repro.sim import Interrupt, PriorityResource, Process, Simulation
+
+
+class DiskDrive:
+    """A single simulated disk drive with its own command queue."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        geometry: DiskGeometry,
+        seek: SeekModel,
+        rotation: RotationModel,
+        command_overhead_ms: float = 0.5,
+        store: Optional[SectorStore] = None,
+        name: str = "disk",
+        scheduling: str = "priority",
+    ) -> None:
+        self.sim = sim
+        self.geometry = geometry
+        self.seek = seek
+        self.rotation = rotation
+        self.command_overhead_ms = command_overhead_ms
+        self.store = store if store is not None else SectorStore(
+            geometry.total_sectors, geometry.sector_size)
+        self.name = name
+        self.stats = DriveStats()
+        self.scheduling = scheduling
+        if scheduling == "priority":
+            self._queue = PriorityResource(sim, capacity=1)
+        elif scheduling == "elevator":
+            from repro.disk.scheduler import ElevatorResource
+            self._queue = ElevatorResource(
+                sim, head_cylinder=lambda: self._position_cylinder)
+        else:
+            raise ValueError(
+                f"unknown scheduling discipline {scheduling!r}")
+        self._position_cylinder = 0
+        self._position_head = 0
+        self._halted = False
+        self._outstanding: Set[Process] = set()
+
+    # ------------------------------------------------------------------
+    # Public command API
+
+    def read(self, lba: int, nsectors: int, priority: int = PRIORITY_READ) -> Process:
+        """Submit a read command; the returned process yields an IoResult."""
+        return self.submit(Op.READ, lba, nsectors, priority=priority)
+
+    def write(
+        self, lba: int, data: bytes, priority: int = PRIORITY_READ,
+    ) -> Process:
+        """Submit a write command for ``data`` (padded to whole sectors)."""
+        sector_size = self.geometry.sector_size
+        nsectors = max(1, (len(data) + sector_size - 1) // sector_size)
+        padded = data + bytes(nsectors * sector_size - len(data))
+        return self.submit(Op.WRITE, lba, nsectors, data=padded,
+                           priority=priority)
+
+    def submit(
+        self,
+        op: Op,
+        lba: int,
+        nsectors: int,
+        data: Optional[bytes] = None,
+        priority: int = PRIORITY_READ,
+    ) -> Process:
+        """Queue one command; completes with :class:`IoResult`.
+
+        The process fails with :class:`DiskHaltedError` if power is lost
+        while the command is queued or in flight.
+        """
+        self.geometry.check_extent(lba, nsectors)
+        if op is Op.WRITE:
+            if data is None or len(data) != nsectors * self.geometry.sector_size:
+                raise ValueError(
+                    "write data must be exactly nsectors * sector_size bytes")
+        process = self.sim.process(
+            self._service(op, lba, nsectors, data, priority),
+            name=f"{self.name}:{op.value}@{lba}")
+        self._outstanding.add(process)
+        process.add_callback(lambda _evt: self._outstanding.discard(process))
+        return process
+
+    # ------------------------------------------------------------------
+    # Power failure
+
+    @property
+    def halted(self) -> bool:
+        """True while the drive is powered off."""
+        return self._halted
+
+    def halt(self) -> None:
+        """Cut power: abort the in-flight command, keep transferred sectors."""
+        if self._halted:
+            return
+        self._halted = True
+        for process in list(self._outstanding):
+            if process.is_alive:
+                process.interrupt("power failure")
+
+    def power_on(self) -> None:
+        """Restore power after :meth:`halt`; the platter state persists."""
+        self._halted = False
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and benchmarks (not by Trail itself —
+    # the whole point of §3.1 is that software must *predict* this)
+
+    @property
+    def position_track(self) -> int:
+        """Track the head currently sits on."""
+        return self.geometry.track_of(self._position_cylinder,
+                                      self._position_head)
+
+    def true_sector_under_head(self) -> int:
+        """Ground-truth sector index under the head right now."""
+        spt = self.geometry.sectors_per_track(self._position_cylinder)
+        return self.rotation.sector_under_head(self.sim.now, spt)
+
+    @property
+    def queue_length(self) -> int:
+        """Commands waiting behind the one in service."""
+        return self._queue.queue_length
+
+    # ------------------------------------------------------------------
+    # Service loop
+
+    def _service(self, op: Op, lba: int, nsectors: int,
+                 data: Optional[bytes], priority: int):
+        enqueued_at = self.sim.now
+        if self.scheduling == "elevator":
+            target_cylinder, _head, _sector = self.geometry.lba_to_chs(lba)
+            request = self._queue.request_at(target_cylinder, priority)
+        else:
+            request = self._queue.request(priority)
+        try:
+            yield request
+        except Interrupt:
+            self._queue.cancel(request)
+            self.stats.halted_commands += 1
+            raise DiskHaltedError(
+                f"{self.name}: power lost while {op.value}@{lba} was queued")
+
+        started_at = self.sim.now
+        seek_total = 0.0
+        rotation_total = 0.0
+        transfer_total = 0.0
+        try:
+            if self._halted:
+                raise DiskHaltedError(
+                    f"{self.name}: drive is powered off")
+            yield self.sim.timeout(self.command_overhead_ms)
+
+            for segment in self._plan_segments(lba, nsectors):
+                cylinder, head = self.geometry.track_location(segment.track)
+                spt = self.geometry.track_sectors(segment.track)
+                sector_time = self.rotation.sector_time(spt)
+                first_sector = (segment.first_lba
+                                - self.geometry.track_first_lba(segment.track))
+
+                move = self.seek.reposition_time(
+                    self._position_cylinder, self._position_head,
+                    cylinder, head)
+                rotation_wait = self.rotation.time_until_sector(
+                    self.sim.now + move, first_sector, spt)
+                if move + rotation_wait > 0:
+                    yield self.sim.timeout(move + rotation_wait)
+                self._position_cylinder = cylinder
+                self._position_head = head
+                seek_total += move
+                rotation_total += rotation_wait
+
+                transfer = segment.nsectors * sector_time
+                segment_started = self.sim.now
+                try:
+                    yield self.sim.timeout(transfer)
+                except Interrupt:
+                    # Power failed mid-transfer: whole sectors already on
+                    # the platter persist, the rest of the command is lost.
+                    completed = int(math.floor(
+                        (self.sim.now - segment_started) / sector_time + 1e-9))
+                    completed = min(completed, segment.nsectors)
+                    if op is Op.WRITE and data is not None and completed > 0:
+                        offset = ((segment.first_lba - lba)
+                                  * self.geometry.sector_size)
+                        self.store.write(
+                            segment.first_lba,
+                            data[offset:offset
+                                 + completed * self.geometry.sector_size])
+                    raise DiskHaltedError(
+                        f"{self.name}: power lost after {completed}/"
+                        f"{segment.nsectors} sectors of {op.value}@{lba}")
+                transfer_total += transfer
+
+                if op is Op.WRITE and data is not None:
+                    offset = (segment.first_lba - lba) * self.geometry.sector_size
+                    self.store.write(
+                        segment.first_lba,
+                        data[offset:offset
+                             + segment.nsectors * self.geometry.sector_size])
+
+            payload = (self.store.read(lba, nsectors)
+                       if op is Op.READ else None)
+            result = IoResult(
+                op=op, lba=lba, nsectors=nsectors,
+                enqueued_at=enqueued_at, started_at=started_at,
+                completed_at=self.sim.now,
+                queue_ms=started_at - enqueued_at,
+                overhead_ms=self.command_overhead_ms,
+                seek_ms=seek_total, rotation_ms=rotation_total,
+                transfer_ms=transfer_total, data=payload)
+            self.stats.record(result)
+            return result
+        except Interrupt:
+            # Power failed outside a transfer (overhead/seek/rotation).
+            self.stats.halted_commands += 1
+            raise DiskHaltedError(
+                f"{self.name}: power lost during {op.value}@{lba}")
+        finally:
+            self._queue.release(request)
+
+    def _plan_segments(self, lba: int, nsectors: int) -> List[_Segment]:
+        """Split an extent into per-track contiguous segments."""
+        segments: List[_Segment] = []
+        remaining = nsectors
+        current = lba
+        while remaining > 0:
+            track = self.geometry.track_of_lba(current)
+            track_start = self.geometry.track_first_lba(track)
+            track_size = self.geometry.track_sectors(track)
+            available = track_start + track_size - current
+            take = min(remaining, available)
+            segments.append(_Segment(track=track, first_lba=current,
+                                     nsectors=take))
+            current += take
+            remaining -= take
+        return segments

@@ -1,0 +1,227 @@
+"""Physical disk geometry: cylinders, heads, zoned tracks, LBA mapping.
+
+Trail's head-position prediction (paper §3.1) requires "a detailed
+knowledge of the log disk's physical geometry": how many sectors each
+track holds and how logical block addresses map onto (cylinder, head,
+sector) triples.  This module models exactly that, including zoned bit
+recording (outer zones hold more sectors per track), which is why the
+prediction formula takes the *current track's* SPT as a parameter.
+
+Track numbering is cylinder-major: track ``t`` lives on cylinder
+``t // heads`` under head ``t % heads``.  "The next track" in the
+paper's sense (§3.1, moving from track *i* to *i+1*) is therefore a
+head switch within the cylinder when possible and a one-cylinder seek
+otherwise — the cheapest physically adjacent track either way.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import AddressError, GeometryError
+from repro.units import SECTOR_SIZE
+
+
+@dataclass(frozen=True)
+class Zone:
+    """A contiguous run of cylinders sharing a sectors-per-track count."""
+
+    cylinder_count: int
+    sectors_per_track: int
+
+    def __post_init__(self) -> None:
+        if self.cylinder_count < 1:
+            raise GeometryError(
+                f"zone must span >= 1 cylinder, got {self.cylinder_count}")
+        if self.sectors_per_track < 1:
+            raise GeometryError(
+                f"zone must have >= 1 sector per track, got {self.sectors_per_track}")
+
+
+@dataclass(frozen=True)
+class CHS:
+    """A physical (cylinder, head, sector) address."""
+
+    cylinder: int
+    head: int
+    sector: int
+
+    def __iter__(self):
+        return iter((self.cylinder, self.head, self.sector))
+
+
+class DiskGeometry:
+    """Immutable description of a disk's physical layout.
+
+    Parameters
+    ----------
+    heads:
+        Number of recording surfaces (tracks per cylinder).
+    zones:
+        Outer-to-inner zone list.  A uniform (non-zoned) disk is a
+        single zone.
+    sector_size:
+        Bytes per sector; the paper's drives use 512.
+    """
+
+    def __init__(
+        self,
+        heads: int,
+        zones: Sequence[Zone],
+        sector_size: int = SECTOR_SIZE,
+    ) -> None:
+        if heads < 1:
+            raise GeometryError(f"heads must be >= 1, got {heads}")
+        if not zones:
+            raise GeometryError("at least one zone is required")
+        if sector_size < 1:
+            raise GeometryError(f"sector_size must be >= 1, got {sector_size}")
+        self.heads = heads
+        self.zones: Tuple[Zone, ...] = tuple(zones)
+        self.sector_size = sector_size
+
+        # Cumulative cylinder counts and LBA offsets at each zone boundary.
+        self._zone_first_cylinder: List[int] = []
+        self._zone_first_lba: List[int] = []
+        cylinder = 0
+        lba = 0
+        for zone in self.zones:
+            self._zone_first_cylinder.append(cylinder)
+            self._zone_first_lba.append(lba)
+            cylinder += zone.cylinder_count
+            lba += zone.cylinder_count * heads * zone.sectors_per_track
+        self.num_cylinders = cylinder
+        self.total_sectors = lba
+        self.num_tracks = cylinder * heads
+
+    # ------------------------------------------------------------------
+    # Zone lookups
+
+    def zone_of_cylinder(self, cylinder: int) -> int:
+        """Index of the zone containing ``cylinder``."""
+        self._check_cylinder(cylinder)
+        return bisect.bisect_right(self._zone_first_cylinder, cylinder) - 1
+
+    def sectors_per_track(self, cylinder: int) -> int:
+        """SPT of every track on ``cylinder`` (zone-dependent)."""
+        return self.zones[self.zone_of_cylinder(cylinder)].sectors_per_track
+
+    # ------------------------------------------------------------------
+    # Track numbering
+
+    def track_of(self, cylinder: int, head: int) -> int:
+        """Cylinder-major track index of surface ``head`` on ``cylinder``."""
+        self._check_cylinder(cylinder)
+        self._check_head(head)
+        return cylinder * self.heads + head
+
+    def track_location(self, track: int) -> Tuple[int, int]:
+        """(cylinder, head) of track index ``track``."""
+        self._check_track(track)
+        return divmod(track, self.heads)
+
+    def track_sectors(self, track: int) -> int:
+        """Number of sectors on ``track``."""
+        cylinder, _head = self.track_location(track)
+        return self.sectors_per_track(cylinder)
+
+    def track_first_lba(self, track: int) -> int:
+        """LBA of sector 0 of ``track``."""
+        cylinder, head = self.track_location(track)
+        zone_index = self.zone_of_cylinder(cylinder)
+        zone = self.zones[zone_index]
+        cylinders_into_zone = cylinder - self._zone_first_cylinder[zone_index]
+        return (self._zone_first_lba[zone_index]
+                + cylinders_into_zone * self.heads * zone.sectors_per_track
+                + head * zone.sectors_per_track)
+
+    def track_of_lba(self, lba: int) -> int:
+        """Track index containing ``lba``."""
+        cylinder, head, _sector = self.lba_to_chs(lba)
+        return self.track_of(cylinder, head)
+
+    # ------------------------------------------------------------------
+    # LBA <-> CHS
+
+    def lba_to_chs(self, lba: int) -> CHS:
+        """Convert a logical block address to its physical location."""
+        self._check_lba(lba)
+        zone_index = bisect.bisect_right(self._zone_first_lba, lba) - 1
+        zone = self.zones[zone_index]
+        offset = lba - self._zone_first_lba[zone_index]
+        sectors_per_cylinder = self.heads * zone.sectors_per_track
+        cylinders_into_zone, remainder = divmod(offset, sectors_per_cylinder)
+        head, sector = divmod(remainder, zone.sectors_per_track)
+        return CHS(self._zone_first_cylinder[zone_index] + cylinders_into_zone,
+                   head, sector)
+
+    def chs_to_lba(self, cylinder: int, head: int, sector: int) -> int:
+        """Convert a physical location to its logical block address."""
+        self._check_cylinder(cylinder)
+        self._check_head(head)
+        spt = self.sectors_per_track(cylinder)
+        if not 0 <= sector < spt:
+            raise AddressError(
+                f"sector {sector} out of range [0, {spt}) on cylinder {cylinder}")
+        return self.track_first_lba(self.track_of(cylinder, head)) + sector
+
+    # ------------------------------------------------------------------
+    # Capacity
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total formatted capacity in bytes."""
+        return self.total_sectors * self.sector_size
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+
+    def _check_cylinder(self, cylinder: int) -> None:
+        if not 0 <= cylinder < self.num_cylinders:
+            raise AddressError(
+                f"cylinder {cylinder} out of range [0, {self.num_cylinders})")
+
+    def _check_head(self, head: int) -> None:
+        if not 0 <= head < self.heads:
+            raise AddressError(f"head {head} out of range [0, {self.heads})")
+
+    def _check_track(self, track: int) -> None:
+        if not 0 <= track < self.num_tracks:
+            raise AddressError(
+                f"track {track} out of range [0, {self.num_tracks})")
+
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self.total_sectors:
+            raise AddressError(
+                f"LBA {lba} out of range [0, {self.total_sectors})")
+
+    def check_extent(self, lba: int, nsectors: int) -> None:
+        """Validate that ``nsectors`` starting at ``lba`` fit on the disk."""
+        self._check_lba(lba)
+        if nsectors < 1:
+            raise AddressError(f"sector count must be >= 1, got {nsectors}")
+        if lba + nsectors > self.total_sectors:
+            raise AddressError(
+                f"extent [{lba}, {lba + nsectors}) exceeds disk size "
+                f"{self.total_sectors}")
+
+    def __repr__(self) -> str:
+        return (f"<DiskGeometry {self.num_cylinders} cyl x {self.heads} heads, "
+                f"{len(self.zones)} zones, {self.total_sectors} sectors, "
+                f"{self.capacity_bytes / 2**30:.2f} GiB>")
+
+
+def uniform_geometry(
+    cylinders: int,
+    heads: int,
+    sectors_per_track: int,
+    sector_size: int = SECTOR_SIZE,
+) -> DiskGeometry:
+    """Convenience constructor for an un-zoned disk."""
+    return DiskGeometry(
+        heads=heads,
+        zones=[Zone(cylinder_count=cylinders, sectors_per_track=sectors_per_track)],
+        sector_size=sector_size,
+    )

@@ -1,0 +1,84 @@
+"""Command-queue scheduling disciplines for the simulated drive.
+
+The default drive queue is priority-FIFO (reads before write-backs,
+FIFO within a class) — what Trail's §4.3 policy needs.  This module
+adds a C-LOOK *elevator*: among the waiting commands of the best
+priority class, service the one with the smallest target cylinder at
+or beyond the head's current position, sweeping inward and wrapping to
+the outermost waiter when the sweep is exhausted.  Elevator scheduling
+is the classic seek-time optimization (Seltzer et al., "Disk
+Scheduling Revisited" — reference [13] of the paper) and is offered as
+a substrate option for baseline experiments; Trail itself doesn't need
+it because its log-disk writes never seek.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.sim import Request, Resource, Simulation
+
+
+class ElevatorResource(Resource):
+    """A capacity-1 resource granting waiters in C-LOOK order.
+
+    ``head_cylinder`` is polled at each grant to find the sweep
+    position.  Requests carry their target cylinder via
+    :meth:`request_at`.  Priorities still dominate: all priority-0
+    waiters are served (in elevator order) before any priority-1
+    waiter.
+    """
+
+    def __init__(self, sim: Simulation,
+                 head_cylinder: Callable[[], int]) -> None:
+        super().__init__(sim, capacity=1)
+        self._head_cylinder = head_cylinder
+        self._waiting: List[Request] = []
+
+    def request_at(self, cylinder: int, priority: int = 0) -> Request:
+        """Claim the drive for a command targeting ``cylinder``."""
+        request = Request(self, priority)
+        request.cylinder = cylinder  # type: ignore[attr-defined]
+        self._enqueue(request)
+        self._dispatch()
+        return request
+
+    def request(self, priority: int = 0) -> Request:
+        """Plain request (no position): treated as cylinder 0."""
+        return self.request_at(0, priority)
+
+    # -- queue discipline ----------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def _enqueue(self, request: Request) -> None:
+        self._waiting.append(request)
+
+    def _remove_waiter(self, request: Request) -> bool:
+        try:
+            self._waiting.remove(request)
+            return True
+        except ValueError:
+            return False
+
+    def _pop_next(self) -> Request:
+        best_priority = min(request.priority for request in self._waiting)
+        candidates = [request for request in self._waiting
+                      if request.priority == best_priority]
+        head = self._head_cylinder()
+        ahead = [request for request in candidates
+                 if getattr(request, "cylinder", 0) >= head]
+        pool = ahead if ahead else candidates  # C-LOOK wrap
+        chosen = min(pool, key=lambda request: (
+            getattr(request, "cylinder", 0), request.enqueued_at))
+        self._waiting.remove(chosen)
+        return chosen
+
+    def _dispatch(self) -> None:
+        while self._waiting and len(self._holders) < self.capacity:
+            request = self._pop_next()
+            request.granted_at = self.sim.now
+            self._holders.append(request)
+            request.succeed(request)

@@ -1,0 +1,121 @@
+"""Byte-accurate sector storage backing a simulated disk.
+
+Trail's crash recovery parses raw sector contents (signatures, epochs,
+back pointers), so the simulator must store the actual bytes written,
+not just remember that "a write happened".  Sectors never written read
+back as zeros, matching the paper's format tool which "resets the rest
+of the disk content to zero" (§4.1).
+
+``snapshot``/``restore`` let crash tests capture persistent state at an
+arbitrary instant and rewind to it, modelling a power failure that
+loses everything except what reached the platter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import AddressError
+from repro.units import SECTOR_SIZE
+
+
+class SectorStore:
+    """A sparse map from LBA to immutable sector contents."""
+
+    def __init__(self, total_sectors: int, sector_size: int = SECTOR_SIZE) -> None:
+        if total_sectors < 1:
+            raise AddressError(f"total_sectors must be >= 1, got {total_sectors}")
+        self.total_sectors = total_sectors
+        self.sector_size = sector_size
+        self._zero = bytes(sector_size)
+        self._sectors: Dict[int, bytes] = {}
+
+    def __len__(self) -> int:
+        """Number of sectors that have ever been written."""
+        return len(self._sectors)
+
+    def write_sector(self, lba: int, data: bytes) -> None:
+        """Store one sector of exactly ``sector_size`` bytes at ``lba``."""
+        self._check_lba(lba)
+        if len(data) != self.sector_size:
+            raise AddressError(
+                f"sector write must be exactly {self.sector_size} bytes, "
+                f"got {len(data)}")
+        self._sectors[lba] = bytes(data)
+
+    def read_sector(self, lba: int) -> bytes:
+        """Read one sector; unwritten sectors are all-zeros."""
+        self._check_lba(lba)
+        return self._sectors.get(lba, self._zero)
+
+    def write(self, lba: int, data: bytes) -> None:
+        """Store a multi-sector extent; ``data`` is padded to whole sectors."""
+        if not data:
+            raise AddressError("cannot write an empty extent")
+        nsectors = (len(data) + self.sector_size - 1) // self.sector_size
+        self._check_extent(lba, nsectors)
+        padded = data + bytes(nsectors * self.sector_size - len(data))
+        for index in range(nsectors):
+            start = index * self.sector_size
+            self._sectors[lba + index] = bytes(
+                padded[start:start + self.sector_size])
+
+    def read(self, lba: int, nsectors: int) -> bytes:
+        """Read ``nsectors`` contiguous sectors starting at ``lba``."""
+        self._check_extent(lba, nsectors)
+        return b"".join(
+            self._sectors.get(lba + index, self._zero)
+            for index in range(nsectors))
+
+    def is_written(self, lba: int) -> bool:
+        """True if ``lba`` has been written since format/clear."""
+        self._check_lba(lba)
+        return lba in self._sectors
+
+    def clear(self) -> None:
+        """Reset every sector to zeros (re-format)."""
+        self._sectors.clear()
+
+    def erase(self, lba: int, nsectors: int) -> None:
+        """Zero an extent (used when Trail's format tool wipes the log)."""
+        self._check_extent(lba, nsectors)
+        for index in range(nsectors):
+            self._sectors.pop(lba + index, None)
+
+    def snapshot(self) -> Dict[int, bytes]:
+        """Copy of the persistent state (cheap: sector bytes are immutable)."""
+        return dict(self._sectors)
+
+    def restore(self, snapshot: Dict[int, bytes]) -> None:
+        """Rewind the store to a previously captured snapshot."""
+        self._sectors = dict(snapshot)
+
+    def written_extents(self) -> Iterator[Tuple[int, int]]:
+        """Yield maximal (start_lba, nsectors) runs of written sectors."""
+        run_start = None
+        previous = None
+        for lba in sorted(self._sectors):
+            if run_start is None:
+                run_start = lba
+            elif lba != previous + 1:
+                yield run_start, previous - run_start + 1
+                run_start = lba
+            previous = lba
+        if run_start is not None:
+            yield run_start, previous - run_start + 1
+
+    # ------------------------------------------------------------------
+
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self.total_sectors:
+            raise AddressError(
+                f"LBA {lba} out of range [0, {self.total_sectors})")
+
+    def _check_extent(self, lba: int, nsectors: int) -> None:
+        self._check_lba(lba)
+        if nsectors < 1:
+            raise AddressError(f"sector count must be >= 1, got {nsectors}")
+        if lba + nsectors > self.total_sectors:
+            raise AddressError(
+                f"extent [{lba}, {lba + nsectors}) exceeds store size "
+                f"{self.total_sectors}")

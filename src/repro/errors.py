@@ -1,0 +1,81 @@
+"""Exception hierarchy for the Trail reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so
+that callers can catch library errors without masking programming
+mistakes (``TypeError`` etc. propagate unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the simulation kernel (e.g. running a finished sim)."""
+
+
+class DiskError(ReproError):
+    """Base class for disk-simulator errors."""
+
+
+class AddressError(DiskError):
+    """A logical or physical disk address is out of range."""
+
+
+class GeometryError(DiskError):
+    """A disk geometry description is inconsistent."""
+
+
+class MediaError(DiskError):
+    """A sector read found no written data (unformatted media)."""
+
+
+class DiskHaltedError(DiskError):
+    """The drive lost power while this command was in flight.
+
+    Whole sectors already transferred to the platter persist; the rest
+    of the command is lost, exactly like a real power failure.
+    """
+
+
+class TrailError(ReproError):
+    """Base class for Trail-driver errors."""
+
+
+class LogFormatError(TrailError):
+    """An on-disk log structure failed to parse or validate."""
+
+
+class LogDiskFullError(TrailError):
+    """The circular log ran out of free tracks (Section 4.4)."""
+
+
+class RecoveryError(TrailError):
+    """Crash recovery could not reconstruct a consistent state."""
+
+
+class NotATrailDiskError(TrailError):
+    """The disk's header signature does not identify a Trail log disk."""
+
+
+class DatabaseError(ReproError):
+    """Base class for the transaction-engine substrate."""
+
+
+class TransactionAborted(DatabaseError):
+    """A transaction was rolled back (deadlock victim or explicit abort)."""
+
+
+class DeadlockError(TransactionAborted):
+    """Lock acquisition formed a cycle; this transaction was chosen victim."""
+
+
+class IntentionalRollback(TransactionAborted):
+    """A workload-specified rollback (e.g. TPC-C's 1% invalid-item
+    New-Order transactions); not retried."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured inconsistently."""

@@ -1,0 +1,15 @@
+"""A mini ext2-flavoured file system over the block-device contract."""
+
+from repro.fs.filesystem import FileHandle, FileSystem
+from repro.fs.structures import (
+    BLOCK_BYTES, BLOCK_SECTORS, FsError, Inode, Superblock)
+
+__all__ = [
+    "BLOCK_BYTES",
+    "BLOCK_SECTORS",
+    "FileHandle",
+    "FileSystem",
+    "FsError",
+    "Inode",
+    "Superblock",
+]

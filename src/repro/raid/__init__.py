@@ -1,0 +1,5 @@
+"""RAID-5 substrate for the paper's small-write future-work item."""
+
+from repro.raid.array import Raid5Array, RaidResult, RaidStats
+
+__all__ = ["Raid5Array", "RaidResult", "RaidStats"]

@@ -1,0 +1,310 @@
+"""A RAID-5 disk array with the classic small-write problem.
+
+The paper's conclusion names "using track-based logging to solve the
+small write problem in RAID-5 disk arrays" as ongoing work.  This
+module provides the substrate: a left-symmetric RAID-5 array over N
+simulated drives with byte-accurate parity, whose small writes pay the
+textbook read-modify-write penalty — read old data, read old parity,
+write new data, write new parity (two serial disk rounds) — while
+full-stripe writes compute parity directly.
+
+The array exposes the same call shapes as a :class:`DiskDrive`
+(``read``/``write``/``halt`` returning processes with ``.data``), so a
+:class:`~repro.core.driver.TrailDriver` can front it as a "data disk":
+Trail acknowledges each small write after one fast log-disk write and
+performs the 4-I/O parity update asynchronously — the solution the
+paper sketches.  Degraded-mode reads reconstruct a failed drive's
+contents by XOR across the survivors, which works on real bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Sequence
+
+from repro.disk.controller import PRIORITY_READ
+from repro.disk.drive import DiskDrive
+from repro.disk.geometry import DiskGeometry, uniform_geometry
+from repro.errors import DiskError
+from repro.sim import Process, Simulation
+
+
+@dataclass
+class RaidResult:
+    """Completion record for one array operation."""
+
+    lba: int
+    nsectors: int
+    started_at: float
+    completed_at: float
+    data: Optional[bytes] = None
+    #: Member-disk commands this operation issued.
+    member_ios: int = 0
+
+    @property
+    def latency_ms(self) -> float:
+        return self.completed_at - self.started_at
+
+
+@dataclass
+class RaidStats:
+    """Array-level counters."""
+
+    reads: int = 0
+    writes: int = 0
+    small_writes: int = 0
+    full_stripe_writes: int = 0
+    degraded_reads: int = 0
+    member_ios: int = 0
+
+
+class Raid5Array:
+    """Left-symmetric RAID-5 with rotating parity."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        drives: Sequence[DiskDrive],
+        stripe_unit_sectors: int = 8,
+        name: str = "raid5",
+    ) -> None:
+        if len(drives) < 3:
+            raise DiskError("RAID-5 needs at least 3 drives")
+        if stripe_unit_sectors < 1:
+            raise DiskError("stripe unit must be >= 1 sector")
+        self.sim = sim
+        self.drives: List[DiskDrive] = list(drives)
+        self.stripe_unit = stripe_unit_sectors
+        self.name = name
+        self.stats = RaidStats()
+        self.sector_size = drives[0].geometry.sector_size
+        member_sectors = min(drive.geometry.total_sectors
+                             for drive in drives)
+        self._units_per_drive = member_sectors // stripe_unit_sectors
+        data_drives = len(drives) - 1
+        self.total_sectors = (self._units_per_drive * data_drives
+                              * stripe_unit_sectors)
+        #: Facade geometry so drivers can validate extents against the
+        #: array's logical capacity.
+        self.geometry: DiskGeometry = uniform_geometry(
+            cylinders=1, heads=1, sectors_per_track=self.total_sectors)
+        self._failed: Optional[int] = None
+        self.rotation = drives[0].rotation  # facade for introspection
+
+    # ------------------------------------------------------------------
+    # Address mapping (left-symmetric layout)
+
+    def _locate(self, unit_index: int):
+        """Map a logical stripe-unit index to (drive, member LBA)."""
+        width = len(self.drives)
+        stripe, offset = divmod(unit_index, width - 1)
+        parity_drive = (width - 1 - stripe % width) % width
+        data_drive = (parity_drive + 1 + offset) % width
+        member_lba = stripe * self.stripe_unit
+        return data_drive, parity_drive, stripe, member_lba
+
+    def parity_drive_of_stripe(self, stripe: int) -> int:
+        """Which member holds parity for ``stripe`` (for tests)."""
+        width = len(self.drives)
+        return (width - 1 - stripe % width) % width
+
+    # ------------------------------------------------------------------
+    # Failure injection
+
+    def fail_drive(self, index: int) -> None:
+        """Mark one member failed; reads reconstruct via parity."""
+        if not 0 <= index < len(self.drives):
+            raise DiskError(f"no member drive {index}")
+        if self._failed is not None:
+            raise DiskError("RAID-5 survives only one failure")
+        self._failed = index
+
+    @property
+    def failed_drive(self) -> Optional[int]:
+        return self._failed
+
+    def halt(self) -> None:
+        """Power failure across all members."""
+        for drive in self.drives:
+            drive.halt()
+
+    def power_on(self) -> None:
+        for drive in self.drives:
+            drive.power_on()
+
+    # ------------------------------------------------------------------
+    # Public I/O (DiskDrive-compatible call shapes)
+
+    def read(self, lba: int, nsectors: int,
+             priority: int = PRIORITY_READ) -> Process:
+        self.geometry.check_extent(lba, nsectors)
+        return self.sim.process(self._read(lba, nsectors, priority),
+                                name=f"{self.name}:read@{lba}")
+
+    def write(self, lba: int, data: bytes,
+              priority: int = PRIORITY_READ) -> Process:
+        nsectors = max(1, (len(data) + self.sector_size - 1)
+                       // self.sector_size)
+        self.geometry.check_extent(lba, nsectors)
+        padded = data + bytes(nsectors * self.sector_size - len(data))
+        return self.sim.process(self._write(lba, padded, priority),
+                                name=f"{self.name}:write@{lba}")
+
+    # ------------------------------------------------------------------
+
+    def _split_units(self, lba: int, nsectors: int):
+        """Split an extent into per-stripe-unit (unit, offset, count)."""
+        pieces = []
+        current = lba
+        remaining = nsectors
+        while remaining > 0:
+            unit = current // self.stripe_unit
+            offset = current % self.stripe_unit
+            take = min(remaining, self.stripe_unit - offset)
+            pieces.append((unit, offset, take))
+            current += take
+            remaining -= take
+        return pieces
+
+    def _read(self, lba: int, nsectors: int, priority: int) -> Generator:
+        started = self.sim.now
+        self.stats.reads += 1
+        chunks: List[bytes] = []
+        member_ios = 0
+        for unit, offset, count in self._split_units(lba, nsectors):
+            data_drive, parity_drive, stripe, member_lba = \
+                self._locate(unit)
+            if data_drive != self._failed:
+                result = yield self.drives[data_drive].read(
+                    member_lba + offset, count, priority=priority)
+                member_ios += 1
+                chunks.append(result.data)
+            else:
+                # Degraded: XOR the same range of every survivor
+                # (including parity) to reconstruct.
+                self.stats.degraded_reads += 1
+                pieces = []
+                for index, drive in enumerate(self.drives):
+                    if index == data_drive:
+                        continue
+                    result = yield drive.read(member_lba + offset,
+                                              count, priority=priority)
+                    member_ios += 1
+                    pieces.append(result.data)
+                chunks.append(_xor(pieces))
+        self.stats.member_ios += member_ios
+        return RaidResult(lba=lba, nsectors=nsectors,
+                          started_at=started, completed_at=self.sim.now,
+                          data=b"".join(chunks), member_ios=member_ios)
+
+    def _write(self, lba: int, data: bytes, priority: int) -> Generator:
+        started = self.sim.now
+        self.stats.writes += 1
+        nsectors = len(data) // self.sector_size
+        member_ios = 0
+        pieces = self._split_units(lba, nsectors)
+        consumed = 0
+        index = 0
+        while index < len(pieces):
+            # Full-stripe detection: width-1 consecutive whole units
+            # starting at a stripe boundary.
+            width = len(self.drives)
+            group = pieces[index:index + width - 1]
+            whole = (len(group) == width - 1
+                     and all(offset == 0 and count == self.stripe_unit
+                             for _unit, offset, count in group)
+                     and group[0][0] % (width - 1) == 0
+                     and all(group[i][0] + 1 == group[i + 1][0]
+                             for i in range(len(group) - 1)))
+            if whole:
+                unit_bytes = self.stripe_unit * self.sector_size
+                payloads = [data[consumed + i * unit_bytes:
+                                 consumed + (i + 1) * unit_bytes]
+                            for i in range(width - 1)]
+                member_ios += yield from self._full_stripe_write(
+                    group[0][0], payloads, priority)
+                consumed += unit_bytes * (width - 1)
+                index += width - 1
+                self.stats.full_stripe_writes += 1
+            else:
+                unit, offset, count = pieces[index]
+                chunk = data[consumed:consumed
+                             + count * self.sector_size]
+                member_ios += yield from self._small_write(
+                    unit, offset, count, chunk, priority)
+                consumed += count * self.sector_size
+                index += 1
+                self.stats.small_writes += 1
+        self.stats.member_ios += member_ios
+        return RaidResult(lba=lba, nsectors=nsectors,
+                          started_at=started, completed_at=self.sim.now,
+                          member_ios=member_ios)
+
+    def _small_write(self, unit: int, offset: int, count: int,
+                     chunk: bytes, priority: int) -> Generator:
+        """Read-modify-write: the RAID-5 small-write penalty."""
+        data_drive, parity_drive, stripe, member_lba = self._locate(unit)
+        target = member_lba + offset
+        # Round 1: read old data and old parity concurrently.
+        reads = []
+        if data_drive != self._failed:
+            reads.append(self.drives[data_drive].read(
+                target, count, priority=priority))
+        if parity_drive != self._failed:
+            reads.append(self.drives[parity_drive].read(
+                target, count, priority=priority))
+        results = yield self.sim.all_of(reads)
+        ordered = [event.value for event in reads]
+        io_count = len(reads)
+        _ = results
+        if data_drive != self._failed and parity_drive != self._failed:
+            old_data, old_parity = ordered[0].data, ordered[1].data
+            new_parity = _xor([old_parity, old_data, chunk])
+        else:
+            # Degraded small write: just write what survives.
+            new_parity = None
+            old_data = ordered[0].data if ordered else bytes(len(chunk))
+        # Round 2: write new data and new parity concurrently.
+        writes = []
+        if data_drive != self._failed:
+            writes.append(self.drives[data_drive].write(
+                target, chunk, priority=priority))
+        if new_parity is not None:
+            writes.append(self.drives[parity_drive].write(
+                target, new_parity, priority=priority))
+        if writes:
+            yield self.sim.all_of(writes)
+        return io_count + len(writes)
+
+    def _full_stripe_write(self, first_unit: int,
+                           payloads: List[bytes],
+                           priority: int) -> Generator:
+        """Write a whole stripe: parity computed without reads."""
+        parity = _xor(payloads)
+        writes = []
+        for piece_index, payload in enumerate(payloads):
+            data_drive, parity_drive, stripe, member_lba = \
+                self._locate(first_unit + piece_index)
+            if data_drive != self._failed:
+                writes.append(self.drives[data_drive].write(
+                    member_lba, payload, priority=priority))
+        _data_drive, parity_drive, _stripe, member_lba = \
+            self._locate(first_unit)
+        if parity_drive != self._failed:
+            writes.append(self.drives[parity_drive].write(
+                member_lba, parity, priority=priority))
+        yield self.sim.all_of(writes)
+        return len(writes)
+
+
+def _xor(buffers: Sequence[bytes]) -> bytes:
+    """Bytewise XOR of equal-length buffers."""
+    if not buffers:
+        raise DiskError("xor of nothing")
+    out = bytearray(buffers[0])
+    for buffer in buffers[1:]:
+        if len(buffer) != len(out):
+            raise DiskError("xor length mismatch")
+        for index, byte in enumerate(buffer):
+            out[index] ^= byte
+    return bytes(out)

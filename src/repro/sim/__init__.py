@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+This package is the substrate replacing the Linux kernel's block layer
+and real wall-clock time in the Trail reproduction: generator-based
+processes, one-shot events, shared resources with FIFO or priority
+queueing, and measurement probes.
+"""
+
+from repro.sim.events import Event, Timeout, Condition, all_of, any_of
+from repro.sim.kernel import Simulation
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import PriorityResource, Request, Resource, Store
+from repro.sim.monitor import CounterSet, LatencyRecorder, UtilizationTracker
+
+__all__ = [
+    "Condition",
+    "CounterSet",
+    "Event",
+    "Interrupt",
+    "LatencyRecorder",
+    "PriorityResource",
+    "Process",
+    "Request",
+    "Resource",
+    "Simulation",
+    "Store",
+    "Timeout",
+    "UtilizationTracker",
+    "all_of",
+    "any_of",
+]

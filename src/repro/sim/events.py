@@ -1,0 +1,197 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a one-shot occurrence.  Processes yield events to
+wait for them; the kernel fires callbacks when an event is triggered.
+:class:`Timeout` is an event pre-scheduled at a fixed delay.
+:class:`Condition` composes events (:func:`all_of` / :func:`any_of`).
+
+The design follows the classic SimPy shape but is implemented from
+scratch and trimmed to what the Trail simulation needs: deterministic
+ordering, value/exception propagation, and composability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, TYPE_CHECKING
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.kernel import Simulation
+
+#: Sentinel distinguishing "no value yet" from a legitimate ``None`` value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that callbacks and processes can wait on.
+
+    Life cycle: *pending* -> *triggered* (scheduled with the kernel) ->
+    *processed* (callbacks ran).  An event may succeed with a value or
+    fail with an exception; waiting processes receive the value or have
+    the exception thrown into them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exception", "_triggered",
+                 "_defused")
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+        #: Callbacks invoked (in registration order) when the event fires.
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exception: Optional[BaseException] = None
+        self._triggered = False
+        #: Set when a waiter consumed this event's failure; an un-defused
+        #: failure is re-raised by the kernel so errors never pass silently.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's result value (raises if not yet triggered)."""
+        if self._value is _PENDING and self._exception is None:
+            raise SimulationError("event value accessed before trigger")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or None if pending/succeeded."""
+        return self._exception
+
+    @property
+    def defused(self) -> bool:
+        """True if some waiter consumed this event's failure."""
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark this event's failure as handled (kernel won't re-raise)."""
+        self._defused = True
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._value = value
+        self.sim._schedule_event(self, delay=0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._exception = exception
+        self.sim._schedule_event(self, delay=0.0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event fires.
+
+        If the event was already processed the callback runs immediately,
+        which lets late waiters join without racing the kernel.
+        """
+        if self.callbacks is None:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "processed" if self.processed else (
+            "triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated milliseconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule_event(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """An event that fires when ``evaluate`` says enough children fired.
+
+    The condition's value is a dict mapping each *fired* child event to
+    its value, so callers can see which events completed.
+    A failing child fails the whole condition immediately.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_fired")
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        events: Sequence[Event],
+        evaluate: Callable[[int, int], bool],
+    ) -> None:
+        super().__init__(sim)
+        self._events = tuple(events)
+        self._evaluate = evaluate
+        self._fired: List[Event] = []
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events from different sims")
+        if not self._events and evaluate(0, 0):
+            self.succeed({})
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            assert event.exception is not None
+            event.defuse()
+            self.fail(event.exception)
+            return
+        self._fired.append(event)
+        if self._evaluate(len(self._events), len(self._fired)):
+            self.succeed({fired: fired._value for fired in self._fired})
+
+
+def all_of(sim: "Simulation", events: Sequence[Event]) -> Condition:
+    """A condition that fires once every event in ``events`` has fired."""
+    return Condition(sim, events, lambda total, fired: fired == total)
+
+
+def any_of(sim: "Simulation", events: Sequence[Event]) -> Condition:
+    """A condition that fires as soon as any event in ``events`` fires."""
+    return Condition(sim, events, lambda total, fired: fired > 0 or total == 0)

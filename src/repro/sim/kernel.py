@@ -1,0 +1,128 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulation` owns the simulated clock and the pending-event heap.
+Time is in milliseconds (``float``).  Events scheduled for the same
+instant fire in scheduling order, which makes every run deterministic —
+a property the recovery and batching tests rely on.
+
+Typical use::
+
+    sim = Simulation()
+
+    def writer(sim, disk):
+        for _ in range(10):
+            yield disk.write(...)
+            yield sim.timeout(2.0)
+
+    sim.process(writer(sim, disk))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, Timeout, Condition, all_of, any_of
+from repro.sim.process import Process, ProcessGenerator
+
+
+class Simulation:
+    """Event scheduler and simulated clock."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # ------------------------------------------------------------------
+    # Factories
+
+    def event(self) -> Event:
+        """Create a new untriggered event bound to this simulation."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` ms from now with ``value``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Sequence[Event]) -> Condition:
+        """Condition event that fires when all ``events`` have fired."""
+        return all_of(self, events)
+
+    def any_of(self, events: Sequence[Event]) -> Condition:
+        """Condition event that fires when any of ``events`` has fired."""
+        return any_of(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        Returns the simulation time at which execution stopped.  An
+        unhandled process failure propagates out of this call.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})")
+        while self._heap:
+            when = self._heap[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self._step()
+        if until is not None:
+            self._now = until
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def run_until(self, event: Event) -> Any:
+        """Run until ``event`` has fired; returns its value.
+
+        Unlike :meth:`run`, this terminates even when perpetual
+        background processes (write-back loops, idle repositioners)
+        keep the event heap non-empty.
+        """
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError(
+                    "event cannot fire: the event heap is empty")
+            self._step()
+        return event.value
+
+    def _step(self) -> None:
+        when, _seq, event = heapq.heappop(self._heap)
+        assert when >= self._now, "event scheduled in the past"
+        self._now = when
+        event._run_callbacks()
+        if not event.ok and not event._defused:
+            exc = event.exception
+            assert exc is not None
+            raise exc
+
+    # ------------------------------------------------------------------
+    # Internal API used by events
+
+    def _schedule_event(self, event: Event, delay: float) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))

@@ -1,0 +1,168 @@
+"""Measurement probes for simulations.
+
+These are deliberately simple accumulators: benchmarks attach them to
+drivers and read summary statistics at the end of a run.  They avoid
+storing full traces unless asked, so long TPC-C runs stay cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class LatencyRecorder:
+    """Accumulates scalar samples (latencies, sizes) with summary stats."""
+
+    def __init__(self, keep_samples: bool = False) -> None:
+        self._count = 0
+        self._total = 0.0
+        self._total_sq = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: Optional[List[float]] = [] if keep_samples else None
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        self._count += 1
+        self._total += value
+        self._total_sq += value * value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+        if self._samples is not None:
+            self._samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        if self._count == 0:
+            raise ValueError("no samples recorded")
+        return self._total / self._count
+
+    @property
+    def minimum(self) -> float:
+        if self._min is None:
+            raise ValueError("no samples recorded")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._max is None:
+            raise ValueError("no samples recorded")
+        return self._max
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation of the samples."""
+        if self._count == 0:
+            raise ValueError("no samples recorded")
+        mean = self.mean
+        variance = max(0.0, self._total_sq / self._count - mean * mean)
+        return math.sqrt(variance)
+
+    @property
+    def samples(self) -> List[float]:
+        if self._samples is None:
+            raise ValueError("recorder was created with keep_samples=False")
+        return list(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile; requires keep_samples=True."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        data = sorted(self.samples)
+        if not data:
+            raise ValueError("no samples recorded")
+        if len(data) == 1:
+            return data[0]
+        rank = (p / 100.0) * (len(data) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return data[low]
+        frac = rank - low
+        return data[low] * (1.0 - frac) + data[high] * frac
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one."""
+        self._count += other._count
+        self._total += other._total
+        self._total_sq += other._total_sq
+        for bound in (other._min, other._max):
+            if bound is not None:
+                self._min = bound if self._min is None else min(self._min, bound)
+                self._max = bound if self._max is None else max(self._max, bound)
+        if self._samples is not None and other._samples is not None:
+            self._samples.extend(other._samples)
+
+    def __repr__(self) -> str:
+        if self._count == 0:
+            return "<LatencyRecorder empty>"
+        return (f"<LatencyRecorder n={self._count} mean={self.mean:.3f} "
+                f"min={self.minimum:.3f} max={self.maximum:.3f}>")
+
+
+class CounterSet:
+    """A named bag of monotonically increasing counters."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, float] = {}
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Snapshot of all counters."""
+        return dict(self._counters)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))
+        return f"<CounterSet {inner}>"
+
+
+class UtilizationTracker:
+    """Time-weighted average of a piecewise-constant level (queue depth,
+    busy/idle state) over simulated time."""
+
+    def __init__(self, sim, initial_level: float = 0.0) -> None:
+        self._sim = sim
+        self._level = initial_level
+        self._last_change = sim.now
+        self._weighted_total = 0.0
+        self._start = sim.now
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def set_level(self, level: float) -> None:
+        """Record a level change at the current simulation time."""
+        now = self._sim.now
+        self._weighted_total += self._level * (now - self._last_change)
+        self._level = level
+        self._last_change = now
+
+    def adjust(self, delta: float) -> None:
+        """Shift the level by ``delta`` (e.g. +1 on enqueue, -1 on dequeue)."""
+        self.set_level(self._level + delta)
+
+    def time_average(self) -> float:
+        """Time-weighted mean level from construction until now."""
+        now = self._sim.now
+        elapsed = now - self._start
+        if elapsed <= 0:
+            return self._level
+        total = self._weighted_total + self._level * (now - self._last_change)
+        return total / elapsed

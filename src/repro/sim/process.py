@@ -1,0 +1,175 @@
+"""Generator-based simulation processes.
+
+A process is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  When a yielded event fires, the generator resumes with the
+event's value (or the event's exception is thrown into it).  A
+:class:`Process` is itself an event that fires when the generator
+returns, so processes can wait on each other.
+
+Processes can be interrupted: :meth:`Process.interrupt` throws an
+:class:`Interrupt` into the generator at its current yield point, which
+is how the Trail driver models cancelled disk operations and how tests
+exercise crash injection mid-I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, TYPE_CHECKING
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulation
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        """The cause object passed to ``interrupt()``."""
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the event kernel.
+
+    The process event itself succeeds with the generator's return value,
+    or fails with the exception that escaped the generator.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off the generator at the current simulation time via an
+        # immediately-triggered initialization event.
+        init = Event(sim)
+        init.add_callback(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is waiting on an event detaches it from that event
+        (the event may still fire, but this process no longer reacts).
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        # Detach from whatever we were waiting on so the normal resume
+        # callback becomes a no-op for this wait.
+        waited = self._waiting_on
+        self._waiting_on = None
+        interrupt_event = Event(self.sim)
+        interrupt_event.add_callback(
+            lambda _evt: self._throw_in(Interrupt(cause), waited))
+        interrupt_event.succeed()
+
+    # ------------------------------------------------------------------
+    # Kernel plumbing
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with ``event``'s outcome."""
+        if self._triggered:
+            # The process already finished (e.g. it was interrupted and
+            # returned); a previously-awaited event firing now is stale.
+            # The process deliberately moved on, so a stale failure is
+            # considered handled.
+            if event.triggered and not event.ok:
+                event.defuse()
+            return
+        if event is not self._waiting_on and self._waiting_on is not None:
+            # We were interrupted while waiting on this event; stale wakeup.
+            if event.triggered and not event.ok:
+                event.defuse()
+            return
+        self._waiting_on = None
+        self.sim._active_process = self
+        try:
+            if event.ok or not event.triggered:
+                target = self._generator.send(
+                    event._value if event.triggered else None)
+            else:
+                assert event.exception is not None
+                event.defuse()
+                target = self._generator.throw(event.exception)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._fail_or_crash(exc)
+            return
+        self.sim._active_process = None
+        self._wait_on(target)
+
+    def _throw_in(self, exc: BaseException, interrupted_event: Optional[Event]) -> None:
+        """Throw ``exc`` into the generator (used by interrupt)."""
+        if self._triggered:
+            # The process finished between the interrupt call and its
+            # delivery (same-timestamp race); nothing to deliver to.
+            return
+        self.sim._active_process = self
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as err:
+            self.sim._active_process = None
+            if isinstance(err, (KeyboardInterrupt, SystemExit)):
+                raise
+            self._fail_or_crash(err)
+            return
+        self.sim._active_process = None
+        self._wait_on(target)
+
+    def _wait_on(self, target: Event) -> None:
+        if not isinstance(target, Event):
+            self._fail_or_crash(SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"))
+            return
+        if target.sim is not self.sim:
+            self._fail_or_crash(SimulationError(
+                f"process {self.name!r} yielded an event from another simulation"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def _fail_or_crash(self, exc: BaseException) -> None:
+        """Propagate a generator exception via this process's own event.
+
+        Waiters that receive the failure defuse it; if nobody waits, the
+        kernel re-raises the exception out of ``run()`` so that process
+        crashes never pass silently.
+        """
+        self.fail(exc)
+
+    def __repr__(self) -> str:
+        state = "finished" if self._triggered else (
+            "waiting" if self._waiting_on is not None else "running")
+        return f"<Process {self.name!r} {state}>"

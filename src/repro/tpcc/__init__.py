@@ -1,0 +1,37 @@
+"""TPC-C workload substrate (schema, population, transactions, harness)."""
+
+from repro.tpcc.loader import (
+    LOG_DISK, TABLE_DISK_A, TABLE_DISK_B, TpccDatabase)
+from repro.tpcc.metrics import TpccMetrics
+from repro.tpcc.random_gen import TpccRandom, last_name
+from repro.tpcc.run import (
+    SYSTEMS, TpccRunConfig, TpccRunResult, run_tpcc)
+from repro.tpcc.schema import (
+    CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, ITEMS,
+    MAX_ORDER_LINES, RECORD_BYTES, TRANSACTION_MIX, TpccScale)
+from repro.tpcc.terminal import Terminal, launch_terminals
+from repro.tpcc.transactions import TpccTransactions
+
+__all__ = [
+    "CUSTOMERS_PER_DISTRICT",
+    "DISTRICTS_PER_WAREHOUSE",
+    "ITEMS",
+    "LOG_DISK",
+    "MAX_ORDER_LINES",
+    "RECORD_BYTES",
+    "SYSTEMS",
+    "TABLE_DISK_A",
+    "TABLE_DISK_B",
+    "TRANSACTION_MIX",
+    "Terminal",
+    "TpccDatabase",
+    "TpccMetrics",
+    "TpccRandom",
+    "TpccRunConfig",
+    "TpccRunResult",
+    "TpccScale",
+    "TpccTransactions",
+    "launch_terminals",
+    "last_name",
+    "run_tpcc",
+]

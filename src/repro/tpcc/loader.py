@@ -1,0 +1,158 @@
+"""TPC-C database construction (clause 4.3 population rules).
+
+``TpccDatabase`` owns both the *physical* schema — nine engine tables
+placed on the two table disks, as in the paper's setup — and the
+compact *domain state* the transactions need (stock quantities, next
+order ids, undelivered-order queues, order metadata).  Population is an
+offline step, like the paper's pre-built database; the optional cache
+warm-up stands in for its 200,000 warm-up transactions.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.db.engine import Table, TableSpec, TransactionEngine
+from repro.tpcc.random_gen import TpccRandom
+from repro.tpcc.schema import (
+    CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE,
+    INITIAL_NEW_ORDERS_PER_DISTRICT, INITIAL_ORDERS_PER_DISTRICT, ITEMS,
+    RECORD_BYTES, TpccScale)
+
+#: Data-disk ids used by the paper's layout: disk 0 is dedicated to the
+#: database log, tables live on disks 1 and 2.
+LOG_DISK = 0
+TABLE_DISK_A = 1
+TABLE_DISK_B = 2
+
+
+class TpccDatabase:
+    """Tables plus in-memory domain state for a TPC-C database."""
+
+    def __init__(
+        self,
+        engine: TransactionEngine,
+        scale: TpccScale,
+        rnd: Optional[TpccRandom] = None,
+    ) -> None:
+        self.engine = engine
+        self.scale = scale
+        self.rnd = rnd or TpccRandom(0)
+
+        # Physical schema.  Small hot tables plus the order pipeline sit
+        # on disk A; the big read-mostly tables on disk B.
+        self.warehouse = self._create("warehouse", scale.warehouses,
+                                      TABLE_DISK_A)
+        self.district = self._create("district", scale.districts,
+                                     TABLE_DISK_A)
+        self.customer = self._create("customer", scale.customers,
+                                     TABLE_DISK_A)
+        self.history = self._create("history", scale.history_rows,
+                                    TABLE_DISK_A)
+        self.order = self._create("order", scale.order_rows, TABLE_DISK_A)
+        self.new_order = self._create("new_order", scale.order_rows,
+                                      TABLE_DISK_A)
+        self.item = self._create("item", ITEMS, TABLE_DISK_B)
+        self.stock = self._create("stock", scale.stock_rows, TABLE_DISK_B)
+        self.order_line = self._create("order_line", scale.order_line_rows,
+                                       TABLE_DISK_B)
+
+        # Domain state (populated by load()).
+        self.next_o_id: List[int] = []
+        self.undelivered: List[Deque[int]] = []
+        self.stock_quantity = array("i")
+        self.stock_ytd = array("i")
+        self.customer_balance = array("d")
+        self.warehouse_ytd = array("d")
+        self.district_ytd = array("d")
+        #: order global index -> (customer id, ol_cnt, delivered flag).
+        self.order_info: Dict[int, Tuple[int, int, bool]] = {}
+        #: customer global index -> most recent order id in its district.
+        self.last_order_of: Dict[int, int] = {}
+        self.history_next = 0
+        self.loaded = False
+
+    def _create(self, name: str, rows: int, disk_id: int) -> Table:
+        return self.engine.create_table(TableSpec(
+            name=name, record_bytes=RECORD_BYTES[name],
+            max_rows=rows, disk_id=disk_id))
+
+    # ------------------------------------------------------------------
+
+    def load(self) -> None:
+        """Populate domain state per the clause 4.3 rules (offline)."""
+        scale = self.scale
+        self.stock_quantity = array(
+            "i", (self.rnd.uniform(10, 100) for _ in range(scale.stock_rows)))
+        self.stock_ytd = array("i", [0]) * scale.stock_rows
+        self.customer_balance = array("d", [-10.0]) * scale.customers
+        self.warehouse_ytd = array("d", [300_000.0]) * scale.warehouses
+        self.district_ytd = array("d", [30_000.0]) * scale.districts
+
+        self.next_o_id = [INITIAL_ORDERS_PER_DISTRICT + 1] * scale.districts
+        self.undelivered = [deque() for _ in range(scale.districts)]
+        for w in range(1, scale.warehouses + 1):
+            for d in range(1, DISTRICTS_PER_WAREHOUSE + 1):
+                district_index = scale.district_index(w, d)
+                # Initial orders are assigned customers by permutation.
+                customers = list(range(1, CUSTOMERS_PER_DISTRICT + 1))
+                self.rnd.shuffle(customers)
+                for o in range(1, INITIAL_ORDERS_PER_DISTRICT + 1):
+                    c = customers[(o - 1) % CUSTOMERS_PER_DISTRICT]
+                    ol_cnt = self.rnd.order_line_count()
+                    delivered = o <= (INITIAL_ORDERS_PER_DISTRICT
+                                      - INITIAL_NEW_ORDERS_PER_DISTRICT)
+                    order_index = scale.order_index(w, d, o)
+                    self.order_info[order_index] = (c, ol_cnt, delivered)
+                    self.last_order_of[scale.customer_index(w, d, c)] = o
+                    if not delivered:
+                        self.undelivered[district_index].append(o)
+        self.history_next = scale.customers  # one history row per customer
+        self.loaded = True
+
+    # ------------------------------------------------------------------
+
+    def warm_cache(self) -> int:
+        """Preload the hottest pages into the buffer pool (LRU-coldest
+        first so the pool evicts the right things under pressure).
+
+        Returns the number of pages made resident.
+        """
+        pool = self.engine.pool
+        loaded = 0
+        # Cold-ish first: order pipeline around the current tail, then
+        # item/stock/customer, then the tiny hot tables last (most
+        # recently used, least likely to be evicted).
+        plan: List[Tuple[Table, range]] = []
+        scale = self.scale
+        for w in range(1, scale.warehouses + 1):
+            for d in range(1, DISTRICTS_PER_WAREHOUSE + 1):
+                tail = self.next_o_id[scale.district_index(w, d)]
+                low = max(1, tail - 1000)
+                plan.append((self.order_line, range(
+                    scale.order_line_index(w, d, low, 1),
+                    scale.order_line_index(
+                        w, d, min(tail, scale.orders_per_district),
+                        1) + 1)))
+                plan.append((self.order, range(
+                    scale.order_index(w, d, low),
+                    scale.order_index(
+                        w, d, min(tail, scale.orders_per_district)) + 1)))
+        plan.append((self.item, range(0, ITEMS)))
+        plan.append((self.stock, range(0, scale.stock_rows)))
+        plan.append((self.customer, range(0, scale.customers)))
+        plan.append((self.district, range(0, scale.districts)))
+        plan.append((self.warehouse, range(0, scale.warehouses)))
+
+        for table, indexes in plan:
+            seen_pages = set()
+            for index in indexes:
+                lba = table.page_of(index)
+                if lba in seen_pages:
+                    continue
+                seen_pages.add(lba)
+                if pool.preload(table.disk_id, lba):
+                    loaded += 1
+        return loaded

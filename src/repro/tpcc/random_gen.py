@@ -1,0 +1,113 @@
+"""TPC-C input generation rules (clause 2.1.6 and 4.3 of the spec).
+
+Implements NURand (non-uniform random), the syllable-based customer
+last names, and the per-transaction-type input distributions the
+benchmark requires.  Everything is seeded, so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+#: The ten syllables used to build customer last names (clause 4.3.2.3).
+_NAME_SYLLABLES = (
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI", "CALLY", "ATION", "EING",
+)
+
+
+def last_name(number: int) -> str:
+    """Customer last name for ``number`` in [0, 999]."""
+    if not 0 <= number <= 999:
+        raise ValueError(f"name number must be in [0, 999], got {number}")
+    return (_NAME_SYLLABLES[number // 100]
+            + _NAME_SYLLABLES[(number // 10) % 10]
+            + _NAME_SYLLABLES[number % 10])
+
+
+class TpccRandom:
+    """Seeded random source implementing the TPC-C distributions."""
+
+    #: NURand constants fixed at database build time (clause 2.1.6.1).
+    C_LAST = 123
+    C_CUST_ID = 259
+    C_ITEM_ID = 987
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def uniform(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def decimal(self, low: float, high: float) -> float:
+        """Uniform float in [low, high]."""
+        return self._rng.uniform(low, high)
+
+    def chance(self, percent: float) -> bool:
+        """True with the given percent probability."""
+        return self._rng.random() * 100.0 < percent
+
+    def nurand(self, a: int, low: int, high: int, c: int) -> int:
+        """The spec's NURand(A, x, y) skewed distribution."""
+        return ((((self.uniform(0, a) | self.uniform(low, high)) + c)
+                 % (high - low + 1)) + low)
+
+    # ------------------------------------------------------------------
+    # Domain-specific draws
+
+    def item_id(self, items: int = 100_000) -> int:
+        """Skewed item id in [1, items] (clause 2.4.1.5)."""
+        return self.nurand(8191, 1, items, self.C_ITEM_ID)
+
+    def customer_id(self, customers: int = 3000) -> int:
+        """Skewed customer id in [1, customers] (clause 2.4.1.5)."""
+        return self.nurand(1023, 1, customers, self.C_CUST_ID)
+
+    def customer_last_name(self) -> str:
+        """A last name drawn with the NURand(255) rule."""
+        return last_name(self.nurand(255, 0, 999, self.C_LAST))
+
+    def district_id(self, districts: int = 10) -> int:
+        """Uniform district id in [1, districts]."""
+        return self.uniform(1, districts)
+
+    def order_line_count(self) -> int:
+        """ol_cnt for New-Order: uniform in [5, 15] (clause 2.4.1.3)."""
+        return self.uniform(5, 15)
+
+    def quantity(self) -> int:
+        """Order-line quantity: uniform in [1, 10]."""
+        return self.uniform(1, 10)
+
+    def remote_warehouse(self, home: int, warehouses: int) -> Tuple[int, bool]:
+        """Supplying warehouse for an order line (1% remote when w > 1)."""
+        if warehouses > 1 and self.chance(1.0):
+            other = self.uniform(1, warehouses - 1)
+            if other >= home:
+                other += 1
+            return other, True
+        return home, False
+
+    def payment_amount(self) -> float:
+        """Payment amount: uniform in [1.00, 5000.00]."""
+        return self.decimal(1.0, 5000.0)
+
+    def by_last_name(self) -> bool:
+        """Payment/Order-Status select customer by last name 60% of the
+        time (clause 2.5.1.2)."""
+        return self.chance(60.0)
+
+    def invalid_item(self) -> bool:
+        """1% of New-Order transactions roll back on an unused item id
+        (clause 2.4.1.5)."""
+        return self.chance(1.0)
+
+    def threshold(self) -> int:
+        """Stock-Level threshold: uniform in [10, 20]."""
+        return self.uniform(10, 20)
+
+    def shuffle(self, items: List) -> None:
+        """In-place shuffle with this generator's state."""
+        self._rng.shuffle(items)

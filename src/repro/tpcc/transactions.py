@@ -1,0 +1,251 @@
+"""The five TPC-C transaction profiles (clause 2).
+
+Each method returns a *body* — a generator function over an engine
+transaction — suitable for
+:meth:`~repro.db.engine.TransactionEngine.run_transaction`.  The bodies
+perform the spec's record accesses (locks, page fetches, CPU) and log
+full after-images through the engine, which is what generates the
+~4 KB-per-transaction log volume behind the paper's Tables 2 and 3.
+
+Domain state is mutated optimistically at access time and not undone on
+abort; the only aborts are deadlock victims (retried, so the final
+state converges) and the spec's intentional 1 % New-Order rollbacks
+(which the spec *requires* to leave no trace — they roll back before
+touching domain state).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.db.engine import Transaction, TransactionEngine
+from repro.errors import IntentionalRollback
+from repro.tpcc.loader import TpccDatabase
+from repro.tpcc.random_gen import TpccRandom
+from repro.tpcc.schema import (
+    CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, TRANSACTION_MIX)
+
+Body = Callable[[Transaction], Generator]
+
+
+class TpccTransactions:
+    """Factory for transaction bodies bound to one database."""
+
+    def __init__(self, engine: TransactionEngine, db: TpccDatabase,
+                 rnd: TpccRandom) -> None:
+        self.engine = engine
+        self.db = db
+        self.rnd = rnd
+        self.scale = db.scale
+
+    # ------------------------------------------------------------------
+
+    def choose_type(self) -> str:
+        """Draw a transaction type from the standard mix."""
+        pick = self.rnd.decimal(0.0, 100.0)
+        cumulative = 0.0
+        for name, weight in TRANSACTION_MIX:
+            cumulative += weight
+            if pick < cumulative:
+                return name
+        return TRANSACTION_MIX[0][0]
+
+    def make(self, tx_type: str, home_warehouse: int) -> Body:
+        """Build a body for ``tx_type`` anchored at ``home_warehouse``."""
+        factory = {
+            "new_order": self.new_order,
+            "payment": self.payment,
+            "order_status": self.order_status,
+            "delivery": self.delivery,
+            "stock_level": self.stock_level,
+        }.get(tx_type)
+        if factory is None:
+            raise ValueError(f"unknown transaction type {tx_type!r}")
+        return factory(home_warehouse)
+
+    # ------------------------------------------------------------------
+    # New-Order (clause 2.4): ~45% of the mix, the tpmC metric
+
+    def new_order(self, w: int) -> Body:
+        engine, db, rnd, scale = self.engine, self.db, self.rnd, self.scale
+
+        def body(tx: Transaction) -> Generator:
+            d = rnd.district_id()
+            c = rnd.customer_id()
+            district_index = scale.district_index(w, d)
+            ol_cnt = rnd.order_line_count()
+            rollback = rnd.invalid_item()
+
+            yield from engine.read_record(tx, db.warehouse,
+                                          scale.warehouse_index(w))
+            yield from engine.write_record(tx, db.district, district_index)
+            yield from engine.read_record(tx, db.customer,
+                                          scale.customer_index(w, d, c))
+
+            o_id = db.next_o_id[district_index]
+            for line in range(1, ol_cnt + 1):
+                if rollback and line == ol_cnt:
+                    # Unused item id: the spec's 1% intentional rollback.
+                    raise IntentionalRollback("invalid item id")
+                item = rnd.item_id()
+                supply_w, _remote = rnd.remote_warehouse(
+                    w, scale.warehouses)
+                yield from engine.read_record(tx, db.item,
+                                              scale.item_index(item))
+                stock_index = scale.stock_index(supply_w, item)
+                yield from engine.write_record(tx, db.stock, stock_index)
+                quantity = rnd.quantity()
+                if db.stock_quantity[stock_index] >= quantity + 10:
+                    db.stock_quantity[stock_index] -= quantity
+                else:
+                    db.stock_quantity[stock_index] += 91 - quantity
+                db.stock_ytd[stock_index] += quantity
+                yield from engine.write_record(
+                    tx, db.order_line,
+                    scale.order_line_index(w, d, o_id, line))
+
+            yield from engine.write_record(tx, db.order,
+                                           scale.order_index(w, d, o_id))
+            yield from engine.write_record(tx, db.new_order,
+                                           scale.order_index(w, d, o_id))
+
+            db.next_o_id[district_index] = o_id + 1
+            db.order_info[scale.order_index(w, d, o_id)] = (c, ol_cnt, False)
+            db.last_order_of[scale.customer_index(w, d, c)] = o_id
+            db.undelivered[district_index].append(o_id)
+
+        return body
+
+    # ------------------------------------------------------------------
+    # Payment (clause 2.5): ~43% of the mix
+
+    def payment(self, w: int) -> Body:
+        engine, db, rnd, scale = self.engine, self.db, self.rnd, self.scale
+
+        def body(tx: Transaction) -> Generator:
+            d = rnd.district_id()
+            amount = rnd.payment_amount()
+
+            yield from engine.write_record(tx, db.warehouse,
+                                           scale.warehouse_index(w))
+            yield from engine.write_record(tx, db.district,
+                                           scale.district_index(w, d))
+
+            if rnd.by_last_name():
+                # Selecting by last name scans the name index: read a
+                # couple of candidate customers before the midpoint one.
+                c = rnd.customer_id()
+                for probe in range(2):
+                    candidate = 1 + (c + probe) % CUSTOMERS_PER_DISTRICT
+                    yield from engine.read_record(
+                        tx, db.customer,
+                        scale.customer_index(w, d, candidate))
+            else:
+                c = rnd.customer_id()
+            customer_index = scale.customer_index(w, d, c)
+            yield from engine.write_record(tx, db.customer, customer_index)
+            db.customer_balance[customer_index] -= amount
+            db.warehouse_ytd[scale.warehouse_index(w)] += amount
+            db.district_ytd[scale.district_index(w, d)] += amount
+
+            yield from engine.write_record(tx, db.history,
+                                           db.history_next
+                                           % db.history.spec.max_rows)
+            db.history_next += 1
+
+        return body
+
+    # ------------------------------------------------------------------
+    # Order-Status (clause 2.6): read-only, ~4%
+
+    def order_status(self, w: int) -> Body:
+        engine, db, rnd, scale = self.engine, self.db, self.rnd, self.scale
+
+        def body(tx: Transaction) -> Generator:
+            d = rnd.district_id()
+            c = rnd.customer_id()
+            customer_index = scale.customer_index(w, d, c)
+            if rnd.by_last_name():
+                yield from engine.read_record(
+                    tx, db.customer,
+                    scale.customer_index(
+                        w, d, 1 + c % CUSTOMERS_PER_DISTRICT))
+            yield from engine.read_record(tx, db.customer, customer_index)
+
+            o_id = db.last_order_of.get(customer_index)
+            if o_id is None:
+                return
+            order_index = scale.order_index(w, d, o_id)
+            yield from engine.read_record(tx, db.order, order_index)
+            _customer, ol_cnt, _delivered = db.order_info.get(
+                order_index, (c, 5, True))
+            for line in range(1, ol_cnt + 1):
+                yield from engine.read_record(
+                    tx, db.order_line,
+                    scale.order_line_index(w, d, o_id, line))
+
+        return body
+
+    # ------------------------------------------------------------------
+    # Delivery (clause 2.7): batch over all 10 districts, ~4%
+
+    def delivery(self, w: int) -> Body:
+        engine, db, rnd, scale = self.engine, self.db, self.rnd, self.scale
+
+        def body(tx: Transaction) -> Generator:
+            for d in range(1, DISTRICTS_PER_WAREHOUSE + 1):
+                district_index = scale.district_index(w, d)
+                if not db.undelivered[district_index]:
+                    continue
+                o_id = db.undelivered[district_index].popleft()
+                order_index = scale.order_index(w, d, o_id)
+                c, ol_cnt, _delivered = db.order_info.get(
+                    order_index, (1, 5, False))
+
+                yield from engine.write_record(tx, db.new_order,
+                                               order_index)
+                yield from engine.write_record(tx, db.order, order_index)
+                total = 0.0
+                for line in range(1, ol_cnt + 1):
+                    yield from engine.write_record(
+                        tx, db.order_line,
+                        scale.order_line_index(w, d, o_id, line))
+                    total += rnd.decimal(0.01, 9999.99)
+                customer_index = scale.customer_index(w, d, c)
+                yield from engine.write_record(tx, db.customer,
+                                               customer_index)
+                db.customer_balance[customer_index] += total
+                db.order_info[order_index] = (c, ol_cnt, True)
+
+        return body
+
+    # ------------------------------------------------------------------
+    # Stock-Level (clause 2.8): read-only, heavy scan, ~4%
+
+    def stock_level(self, w: int) -> Body:
+        engine, db, rnd, scale = self.engine, self.db, self.rnd, self.scale
+
+        def body(tx: Transaction) -> Generator:
+            d = rnd.district_id()
+            district_index = scale.district_index(w, d)
+            threshold = rnd.threshold()
+            yield from engine.read_record(tx, db.district, district_index)
+
+            tail = db.next_o_id[district_index]
+            low = max(1, tail - 20)
+            below = 0
+            for o_id in range(low, tail):
+                order_index = scale.order_index(w, d, o_id)
+                _c, ol_cnt, _delivered = db.order_info.get(
+                    order_index, (1, 5, True))
+                for line in range(1, ol_cnt + 1):
+                    yield from engine.read_record(
+                        tx, db.order_line,
+                        scale.order_line_index(w, d, o_id, line))
+                    stock_index = scale.stock_index(
+                        w, 1 + rnd.item_id() % 100_000)
+                    yield from engine.read_record(tx, db.stock, stock_index)
+                    if db.stock_quantity[stock_index] < threshold:
+                        below += 1
+
+        return body

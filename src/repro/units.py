@@ -1,0 +1,77 @@
+"""Unit conventions and conversion helpers used throughout the library.
+
+All simulated time is kept in **milliseconds** as ``float``.  All storage
+sizes are kept in **bytes** as ``int``.  These helpers exist so that call
+sites can say ``seconds(2)`` or ``KiB(50)`` instead of sprinkling magic
+multipliers, and so that benchmark tables can format values the way the
+paper prints them.
+"""
+
+from __future__ import annotations
+
+#: Number of bytes in one standard disk sector (the paper's drives use 512).
+SECTOR_SIZE = 512
+
+#: Milliseconds per second.
+MS_PER_SECOND = 1000.0
+
+#: Microseconds per millisecond.
+US_PER_MS = 1000.0
+
+
+def seconds(value: float) -> float:
+    """Convert seconds to simulated milliseconds."""
+    return value * MS_PER_SECOND
+
+
+def milliseconds(value: float) -> float:
+    """Identity conversion, for symmetry at call sites that mix units."""
+    return float(value)
+
+
+def microseconds(value: float) -> float:
+    """Convert microseconds to simulated milliseconds."""
+    return value / US_PER_MS
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to simulated milliseconds."""
+    return value * 60.0 * MS_PER_SECOND
+
+
+def to_seconds(ms: float) -> float:
+    """Convert simulated milliseconds back to seconds."""
+    return ms / MS_PER_SECOND
+
+
+def KiB(value: float) -> int:
+    """Convert kibibytes to bytes."""
+    return int(value * 1024)
+
+
+def MiB(value: float) -> int:
+    """Convert mebibytes to bytes."""
+    return int(value * 1024 * 1024)
+
+
+def GiB(value: float) -> int:
+    """Convert gibibytes to bytes."""
+    return int(value * 1024 * 1024 * 1024)
+
+
+def sectors_for(nbytes: int, sector_size: int = SECTOR_SIZE) -> int:
+    """Number of whole sectors needed to hold ``nbytes`` of payload."""
+    if nbytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {nbytes}")
+    return (nbytes + sector_size - 1) // sector_size
+
+
+def rpm_to_rotation_ms(rpm: float) -> float:
+    """Full-revolution time in milliseconds for a spindle speed in RPM.
+
+    A 5400 RPM disk (the paper's ST41601N) rotates once every ~11.11 ms,
+    giving the 5.5 ms average rotational latency quoted in Section 5.1.
+    """
+    if rpm <= 0:
+        raise ValueError(f"rpm must be positive, got {rpm}")
+    return 60.0 * MS_PER_SECOND / rpm

@@ -1,0 +1,79 @@
+"""Unit tests for table rendering and helpers."""
+
+import pytest
+
+from repro.analysis.tables import format_cell, render_table, speedup
+
+
+class TestFormatCell:
+    def test_strings_pass_through(self):
+        assert format_cell("abc") == "abc"
+
+    def test_integers(self):
+        assert format_cell(42) == "42"
+
+    def test_large_floats_thousands(self):
+        assert format_cell(12345.6) == "12,346"
+
+    def test_medium_floats_one_decimal(self):
+        assert format_cell(42.25) == "42.2"
+
+    def test_small_floats_three_decimals(self):
+        assert format_cell(1.23456) == "1.235"
+
+    def test_zero(self):
+        assert format_cell(0.0) == "0"
+
+
+class TestRenderTable:
+    def test_structure(self):
+        text = render_table(["name", "value"],
+                            [["a", 1], ["b", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", "+"}
+        assert len(lines) == 5
+
+    def test_alignment(self):
+        text = render_table(["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            speedup(10.0, 0.0)
+
+
+class TestSystemBuilders:
+    def test_trail_system_is_mounted(self):
+        from repro.analysis import build_trail_system
+        from repro.disk.presets import tiny_test_disk
+        system = build_trail_system(
+            log_spec=tiny_test_disk(cylinders=30),
+            data_spec=tiny_test_disk(cylinders=40))
+        assert system.driver.mounted
+        assert system.driver.epoch == 1
+
+    def test_standard_system(self):
+        from repro.analysis import build_standard_system
+        from repro.disk.presets import tiny_test_disk
+        system = build_standard_system(
+            data_disk_count=2, data_spec=tiny_test_disk())
+        assert len(system.data_drives) == 2
+
+    def test_lfs_system(self):
+        from repro.analysis import build_lfs_system
+        from repro.disk.presets import tiny_test_disk
+        system = build_lfs_system(data_spec=tiny_test_disk(cylinders=40),
+                                  segment_sectors=32)
+        assert system.driver.segment_sectors == 32

@@ -1,0 +1,41 @@
+"""Unit tests for the commit policies."""
+
+import pytest
+
+from repro.baselines.group_commit import GroupCommitPolicy, SyncCommitPolicy
+from repro.errors import DatabaseError
+
+
+class TestSyncCommitPolicy:
+    def test_waits_for_durability(self):
+        assert SyncCommitPolicy().wait_for_durable is True
+
+    def test_never_flushes_on_append(self):
+        policy = SyncCommitPolicy()
+        assert not policy.should_flush_on_append(10_000_000)
+
+    def test_flushes_every_commit_with_content(self):
+        policy = SyncCommitPolicy()
+        assert policy.should_flush_on_commit(1)
+        assert not policy.should_flush_on_commit(0)
+
+
+class TestGroupCommitPolicy:
+    def test_does_not_wait_for_durability(self):
+        """The paper's durability compromise: commit returns before the
+        records are on disk."""
+        assert GroupCommitPolicy(1024).wait_for_durable is False
+
+    def test_flush_threshold_on_append(self):
+        policy = GroupCommitPolicy(log_buffer_bytes=4096)
+        assert not policy.should_flush_on_append(4095)
+        assert policy.should_flush_on_append(4096)
+
+    def test_flush_threshold_on_commit(self):
+        policy = GroupCommitPolicy(log_buffer_bytes=4096)
+        assert not policy.should_flush_on_commit(100)
+        assert policy.should_flush_on_commit(5000)
+
+    def test_invalid_buffer_size(self):
+        with pytest.raises(DatabaseError):
+            GroupCommitPolicy(log_buffer_bytes=0)

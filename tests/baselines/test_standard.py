@@ -1,0 +1,96 @@
+"""Unit tests for the standard-disk baseline driver."""
+
+import pytest
+
+from repro.baselines.standard import StandardDriver
+from repro.errors import TrailError
+from tests.conftest import drive_to_completion, make_tiny_drive
+
+SECTOR = 512
+
+
+@pytest.fixture
+def system(sim):
+    disks = {0: make_tiny_drive(sim, "d0"),
+             1: make_tiny_drive(sim, "d1")}
+    return StandardDriver(sim, disks), disks
+
+
+def test_write_is_synchronous_and_in_place(sim, system):
+    driver, disks = system
+
+    def body():
+        latency = yield driver.write(40, b"Z" * SECTOR)
+        return latency
+
+    latency = drive_to_completion(sim, body())
+    # The data is on the disk the moment the event fires.
+    assert disks[0].store.read_sector(40) == b"Z" * SECTOR
+    assert latency > 0
+    assert driver.stats.sync_writes.count == 1
+    assert driver.stats.logging_io_ms == pytest.approx(latency)
+
+
+def test_write_pays_mechanical_latency(sim, system):
+    driver, disks = system
+
+    def body():
+        return (yield driver.write(300, b"x" * SECTOR))
+
+    latency = drive_to_completion(sim, body())
+    # Must include at least command overhead + transfer; generally also
+    # seek + rotation.
+    assert latency >= disks[0].command_overhead_ms + 0.6
+
+
+def test_read_round_trip(sim, system):
+    driver, _disks = system
+
+    def body():
+        yield driver.write(12, b"R" * 2 * SECTOR, disk_id=1)
+        data = yield driver.read(12, 2, disk_id=1)
+        return data
+
+    assert drive_to_completion(sim, body()) == b"R" * 2 * SECTOR
+    assert driver.stats.reads == 1
+
+
+def test_disk_id_routing(sim, system):
+    driver, disks = system
+
+    def body():
+        yield driver.write(7, b"A" * SECTOR, disk_id=0)
+        yield driver.write(7, b"B" * SECTOR, disk_id=1)
+
+    drive_to_completion(sim, body())
+    assert disks[0].store.read_sector(7) == b"A" * SECTOR
+    assert disks[1].store.read_sector(7) == b"B" * SECTOR
+
+
+def test_unknown_disk_rejected(sim, system):
+    driver, _disks = system
+    with pytest.raises(TrailError):
+        driver.write(0, b"x", disk_id=5)
+    with pytest.raises(TrailError):
+        driver.read(0, 1, disk_id=5)
+
+
+def test_empty_write_rejected(sim, system):
+    driver, _disks = system
+    with pytest.raises(TrailError):
+        driver.write(0, b"")
+
+
+def test_needs_disks(sim):
+    with pytest.raises(TrailError):
+        StandardDriver(sim, {})
+
+
+def test_flush_is_noop(sim, system):
+    driver, _disks = system
+    drive_to_completion(sim, driver.flush())
+
+
+def test_sector_size(sim, system):
+    driver, _disks = system
+    assert driver.sector_size == SECTOR

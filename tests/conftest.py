@@ -1,0 +1,66 @@
+"""Shared fixtures and helpers for the test suite.
+
+Most tests run on the ``tiny_test_disk`` drive model: 10 ms revolution,
+sub-millisecond seeks, 40 tracks — large enough to exercise wraparound
+and recovery, small enough that every test is instant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import pytest
+
+from repro.core.config import TrailConfig
+from repro.core.driver import TrailDriver
+from repro.disk.drive import DiskDrive
+from repro.disk.presets import tiny_test_disk
+from repro.sim import Simulation
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh simulation clock."""
+    return Simulation()
+
+
+def make_tiny_drive(
+    sim: Simulation,
+    name: str = "disk",
+    cylinders: int = 20,
+    heads: int = 2,
+    sectors_per_track: int = 16,
+    phase_drift=None,
+) -> DiskDrive:
+    """A small drive bound to ``sim``."""
+    return tiny_test_disk(
+        cylinders=cylinders, heads=heads,
+        sectors_per_track=sectors_per_track,
+    ).make_drive(sim, name, phase_drift=phase_drift)
+
+
+def make_tiny_trail(
+    config: Optional[TrailConfig] = None,
+    data_disks: int = 1,
+    log_cylinders: int = 30,
+    mount: bool = True,
+) -> Tuple[Simulation, TrailDriver, DiskDrive, Dict[int, DiskDrive]]:
+    """A formatted (and optionally mounted) Trail stack on tiny drives."""
+    sim = Simulation()
+    log_drive = make_tiny_drive(sim, "log", cylinders=log_cylinders)
+    data = {
+        disk_id: make_tiny_drive(sim, f"data{disk_id}", cylinders=80,
+                                 heads=4, sectors_per_track=32)
+        for disk_id in range(data_disks)
+    }
+    trail_config = config or TrailConfig(idle_reposition_interval_ms=0)
+    TrailDriver.format_disk(log_drive, trail_config)
+    driver = TrailDriver(sim, log_drive, data, trail_config)
+    if mount:
+        sim.run_until(sim.process(driver.mount()))
+    return sim, driver, log_drive, data
+
+
+def drive_to_completion(sim: Simulation, generator, name: str = "test"):
+    """Run ``generator`` as a process to completion; return its value."""
+    return sim.run_until(sim.process(generator, name=name))

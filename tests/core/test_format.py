@@ -1,0 +1,179 @@
+"""Unit and property tests for the self-describing log format."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import MAX_TRAIL_BATCH
+from repro.core.format import (
+    BatchEntry, HEADER_FIRST_BYTE, LogDiskHeader, NULL_LBA,
+    PAYLOAD_FIRST_BYTE, RecordHeader, decode_disk_header,
+    decode_geometry, decode_record_header, encode_disk_header,
+    encode_geometry, encode_record, is_record_header, restore_payload)
+from repro.disk.geometry import DiskGeometry, Zone
+from repro.errors import LogFormatError
+
+
+def make_record(payloads, epoch=1, sequence_id=7, prev_sect=NULL_LBA,
+                log_head=100, base_log_lba=101, base_data_lba=5000):
+    entries = tuple(
+        BatchEntry(data_lba=base_data_lba + index,
+                   log_lba=base_log_lba + index,
+                   first_data_byte=payload[0],
+                   data_major=1, data_minor=0)
+        for index, payload in enumerate(payloads))
+    return RecordHeader(epoch=epoch, sequence_id=sequence_id,
+                        prev_sect=prev_sect, log_head=log_head,
+                        entries=entries)
+
+
+class TestRecordRoundTrip:
+    def test_single_sector(self):
+        payload = bytes([0xAB]) + (bytes(range(256)) * 2)[:511]
+        header = make_record([payload])
+        sectors = encode_record(header, [payload])
+        assert len(sectors) == 2
+        decoded = decode_record_header(sectors[0])
+        from repro.core.format import payload_crc32
+        assert decoded.payload_crc == payload_crc32(sectors[1:])
+        assert decoded == dataclasses.replace(
+            header, payload_crc=decoded.payload_crc)
+        assert restore_payload(decoded.entries[0], sectors[1]) == payload
+
+    def test_marker_bytes(self):
+        payload = bytes([0xFF]) + bytes(511)  # payload starting with 0xFF!
+        header = make_record([payload])
+        sectors = encode_record(header, [payload])
+        assert sectors[0][0] == HEADER_FIRST_BYTE
+        assert sectors[1][0] == PAYLOAD_FIRST_BYTE
+        # The original 0xFF first byte survives the round trip.
+        decoded = decode_record_header(sectors[0])
+        assert restore_payload(decoded.entries[0], sectors[1]) == payload
+
+    def test_payload_sector_never_parses_as_header(self):
+        # Even adversarial payloads cannot be mistaken for a header,
+        # because the encoder forces their first byte to 0x00.
+        fake_header = encode_record(make_record([bytes(512)]),
+                                    [bytes(512)])[0]
+        payload = fake_header  # payload that *is* a valid header image
+        header = make_record([payload])
+        sectors = encode_record(header, [payload])
+        assert not is_record_header(sectors[1])
+
+    def test_batch_of_max_size(self):
+        payloads = [bytes([index]) + bytes(511)
+                    for index in range(MAX_TRAIL_BATCH)]
+        header = make_record(payloads)
+        sectors = encode_record(header, payloads)
+        decoded = decode_record_header(sectors[0])
+        assert decoded.batch_size == MAX_TRAIL_BATCH
+        for entry, original, encoded in zip(decoded.entries, payloads,
+                                            sectors[1:]):
+            assert restore_payload(entry, encoded) == original
+
+    def test_batch_too_large_rejected(self):
+        payloads = [bytes(512)] * (MAX_TRAIL_BATCH + 1)
+        with pytest.raises(LogFormatError):
+            encode_record(make_record(payloads), payloads)
+
+    def test_entry_payload_count_mismatch(self):
+        header = make_record([bytes(512), bytes(512)])
+        with pytest.raises(LogFormatError):
+            encode_record(header, [bytes(512)])
+
+    def test_wrong_payload_size(self):
+        header = make_record([bytes(512)])
+        with pytest.raises(LogFormatError):
+            encode_record(header, [bytes(100)])
+
+    def test_first_byte_mismatch_rejected(self):
+        payload = bytes([5]) + bytes(511)
+        entries = (BatchEntry(data_lba=0, log_lba=1, first_data_byte=99),)
+        header = RecordHeader(epoch=0, sequence_id=0, prev_sect=NULL_LBA,
+                              log_head=0, entries=entries)
+        with pytest.raises(LogFormatError):
+            encode_record(header, [payload])
+
+    @given(st.lists(st.binary(min_size=512, max_size=512),
+                    min_size=1, max_size=10),
+           st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+    def test_round_trip_property(self, payloads, epoch, sequence_id):
+        header = make_record(payloads, epoch=epoch,
+                             sequence_id=sequence_id)
+        sectors = encode_record(header, payloads)
+        decoded = decode_record_header(sectors[0])
+        assert decoded.epoch == epoch
+        assert decoded.sequence_id == sequence_id
+        assert decoded.batch_size == len(payloads)
+        restored = [restore_payload(entry, sector)
+                    for entry, sector in zip(decoded.entries, sectors[1:])]
+        assert restored == list(payloads)
+
+
+class TestHeaderValidation:
+    def test_garbage_rejected(self):
+        with pytest.raises(LogFormatError):
+            decode_record_header(bytes(512))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(LogFormatError):
+            decode_record_header(b"\xff")
+
+    def test_bad_signature_rejected(self):
+        sectors = encode_record(make_record([bytes(512)]), [bytes(512)])
+        corrupted = bytearray(sectors[0])
+        corrupted[3] ^= 0xFF
+        with pytest.raises(LogFormatError):
+            decode_record_header(bytes(corrupted))
+
+    def test_epoch_check(self):
+        sectors = encode_record(make_record([bytes(512)], epoch=3),
+                                [bytes(512)])
+        assert is_record_header(sectors[0], expected_epoch=3)
+        assert not is_record_header(sectors[0], expected_epoch=4)
+
+    def test_restore_payload_requires_marker(self):
+        entry = BatchEntry(data_lba=0, log_lba=0, first_data_byte=7)
+        with pytest.raises(LogFormatError):
+            restore_payload(entry, bytes([1]) + bytes(511))
+        with pytest.raises(LogFormatError):
+            restore_payload(entry, b"")
+
+    def test_invalid_first_data_byte(self):
+        with pytest.raises(LogFormatError):
+            BatchEntry(data_lba=0, log_lba=0, first_data_byte=300)
+
+
+class TestDiskHeader:
+    def test_round_trip(self):
+        header = LogDiskHeader(epoch=42, crash_var=1)
+        decoded = decode_disk_header(encode_disk_header(header))
+        assert decoded == header
+
+    def test_not_a_trail_disk(self):
+        with pytest.raises(LogFormatError):
+            decode_disk_header(bytes(512))
+
+    def test_short_sector(self):
+        with pytest.raises(LogFormatError):
+            decode_disk_header(b"TR")
+
+
+class TestGeometryRecord:
+    def test_round_trip(self):
+        geometry = DiskGeometry(heads=4, zones=[
+            Zone(cylinder_count=10, sectors_per_track=20),
+            Zone(cylinder_count=5, sectors_per_track=12),
+        ])
+        decoded = decode_geometry(encode_geometry(geometry))
+        assert decoded.heads == 4
+        assert decoded.total_sectors == geometry.total_sectors
+        assert [(z.cylinder_count, z.sectors_per_track)
+                for z in decoded.zones] == [(10, 20), (5, 12)]
+
+    def test_garbage_geometry(self):
+        with pytest.raises(LogFormatError):
+            decode_geometry(bytes(2))
+        with pytest.raises(LogFormatError):
+            decode_geometry(bytes(512))  # zone_count 0

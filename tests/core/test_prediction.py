@@ -1,0 +1,233 @@
+"""Unit tests for head-position prediction and δ calibration (§3.1)."""
+
+import math
+
+import pytest
+
+from repro.core.prediction import HeadPositionPredictor
+from repro.errors import TrailError
+from tests.conftest import drive_to_completion, make_tiny_drive
+
+
+def make_predictor(drive, delta=0):
+    return HeadPositionPredictor(drive.geometry,
+                                 rotation_ms=drive.rotation.rotation_ms,
+                                 delta_sectors=delta)
+
+
+def anchor(sim, drive, predictor, track=1):
+    """Read one sector and anchor the predictor, like the driver does."""
+    lba = drive.geometry.track_first_lba(track)
+
+    def body():
+        yield drive.read(lba, 1)
+        predictor.set_reference(sim.now, lba)
+
+    drive_to_completion(sim, body())
+
+
+class TestPredictionMath:
+    def test_requires_reference(self, sim):
+        drive = make_tiny_drive(sim)
+        predictor = make_predictor(drive)
+        assert not predictor.has_reference
+        with pytest.raises(TrailError):
+            predictor.predict_sector(0.0, 1)
+
+    def test_matches_ground_truth_without_drift(self, sim):
+        drive = make_tiny_drive(sim)
+        predictor = make_predictor(drive)
+        anchor(sim, drive, predictor)
+        spt = drive.geometry.track_sectors(1)
+        # Mid-sector instants (sector time is 0.625 ms): exact match.
+        for offset in (0.3, 1.7, 9.99, 25.1):
+            t1 = sim.now + offset
+            predicted = predictor.predict_sector(t1, 1)
+            truth = drive.rotation.sector_under_head(t1, spt)
+            assert predicted == truth, (offset, predicted, truth)
+
+    def test_boundary_instant_within_one_sector(self, sim):
+        """Exactly on a sector boundary, float rounding may resolve to
+        either side; the prediction is within one sector either way."""
+        drive = make_tiny_drive(sim)
+        predictor = make_predictor(drive)
+        anchor(sim, drive, predictor)
+        spt = drive.geometry.track_sectors(1)
+        predicted = predictor.predict_sector(sim.now, 1)
+        truth = drive.rotation.sector_under_head(sim.now, spt)
+        circular_gap = min((predicted - truth) % spt,
+                           (truth - predicted) % spt)
+        assert circular_gap <= 1
+
+    def test_delta_shifts_prediction(self, sim):
+        drive = make_tiny_drive(sim)
+        base = make_predictor(drive, delta=0)
+        shifted = make_predictor(drive, delta=3)
+        anchor(sim, drive, base)
+        shifted.set_reference(base._t0, drive.geometry.track_first_lba(1))
+        spt = drive.geometry.track_sectors(1)
+        t1 = sim.now + 2.0
+        assert (shifted.predict_sector(t1, 1)
+                == (base.predict_sector(t1, 1) + 3) % spt)
+
+    def test_predict_lba_on_track(self, sim):
+        drive = make_tiny_drive(sim)
+        predictor = make_predictor(drive)
+        anchor(sim, drive, predictor, track=5)
+        lba = predictor.predict_lba(sim.now + 1.0, 5)
+        first = drive.geometry.track_first_lba(5)
+        assert first <= lba < first + drive.geometry.track_sectors(5)
+
+    def test_invalid_construction(self, sim):
+        drive = make_tiny_drive(sim)
+        with pytest.raises(TrailError):
+            HeadPositionPredictor(drive.geometry, rotation_ms=0)
+        with pytest.raises(TrailError):
+            HeadPositionPredictor(drive.geometry, rotation_ms=10,
+                                  delta_sectors=-1)
+
+    def test_drift_breaks_stale_reference(self, sim):
+        """With rotation drift, a prediction from an old reference is
+        wrong — the motivation for periodic repositioning."""
+        drift = lambda t: t / 1000.0 * 0.37
+        drive = make_tiny_drive(sim, phase_drift=drift)
+        predictor = make_predictor(drive)
+        anchor(sim, drive, predictor)
+        spt = drive.geometry.track_sectors(1)
+        t_far = sim.now + 2000.0  # drift accrues ~0.74 revolutions
+        predicted = predictor.predict_sector(t_far, 1)
+        truth = drive.rotation.sector_under_head(t_far, spt)
+        assert predicted != truth
+
+    def test_reanchoring_fixes_drift(self, sim):
+        drift = lambda t: t / 1000.0 * 0.37
+        drive = make_tiny_drive(sim, phase_drift=drift)
+        predictor = make_predictor(drive)
+
+        def body():
+            yield sim.timeout(2000.0)
+            lba = drive.geometry.track_first_lba(1)
+            yield drive.read(lba, 1)
+            predictor.set_reference(sim.now, lba)
+
+        drive_to_completion(sim, body())
+        spt = drive.geometry.track_sectors(1)
+        # Fresh reference: accurate over short horizons despite drift.
+        t1 = sim.now + 1.0
+        predicted = predictor.predict_sector(t1, 1)
+        truth = drive.rotation.sector_under_head(t1, spt)
+        assert abs((predicted - truth) % spt) <= 1
+
+
+class TestZonedPrediction:
+    def test_prediction_across_zone_boundary(self):
+        """The reference can be anchored in one zone and the prediction
+        asked for a track in another (different sectors-per-track): the
+        angle-based formulation handles the SPT change."""
+        from repro.disk.geometry import DiskGeometry, Zone
+        from repro.disk.mechanics import RotationModel, SeekModel
+        from repro.disk.drive import DiskDrive
+        from repro.sim import Simulation
+
+        sim = Simulation()
+        geometry = DiskGeometry(heads=2, zones=[
+            Zone(cylinder_count=10, sectors_per_track=24),
+            Zone(cylinder_count=10, sectors_per_track=12),
+        ])
+        drive = DiskDrive(
+            sim, geometry,
+            SeekModel(20, 0.5, 1.5, 3.0, head_switch_ms=0.4),
+            RotationModel(6000), command_overhead_ms=0.2, name="z")
+        predictor = HeadPositionPredictor(
+            geometry, rotation_ms=drive.rotation.rotation_ms,
+            delta_sectors=2)
+        # Anchor on an outer-zone track (24 SPT).
+        anchor_lba = geometry.track_first_lba(2)
+
+        def body():
+            yield drive.read(anchor_lba, 1)
+            predictor.set_reference(sim.now, anchor_lba)
+            # Predict and write on an inner-zone track (12 SPT).
+            inner_track = geometry.track_of(15, 0)
+            move = drive.seek.reposition_time(1, 0, 15, 0)
+            target = predictor.predict_lba(sim.now + move, inner_track)
+            result = yield drive.write(target, bytes(512))
+            return result
+
+        result = sim.run_until(sim.process(body()))
+        spt_inner = 12
+        sector_time = drive.rotation.sector_time(spt_inner)
+        # Well under a full rotation: the delta margin plus one sector.
+        assert result.rotation_ms <= (predictor.delta_sectors + 1) \
+            * sector_time + 1e-9
+
+
+class TestCalibration:
+    def test_finds_overhead_covering_delta(self, sim):
+        drive = make_tiny_drive(sim)
+        predictor = make_predictor(drive)
+        result = drive_to_completion(
+            sim, predictor.calibrate(sim, drive, track=1))
+        # tiny disk: overhead 0.2 ms, sector time 0.625 ms -> the
+        # overhead fits within one sector time, so delta of 1-2 works.
+        assert 1 <= result.delta_sectors <= 2
+        assert predictor.delta_sectors == result.delta_sectors
+        assert result.writes_issued > 0
+
+    def test_calibrated_delta_avoids_full_rotation(self, sim):
+        drive = make_tiny_drive(sim)
+        predictor = make_predictor(drive)
+        drive_to_completion(sim, predictor.calibrate(sim, drive, track=1))
+
+        def probe():
+            latencies = []
+            for _ in range(10):
+                lba = drive.geometry.track_first_lba(2)
+                yield drive.read(lba, 1)
+                predictor.set_reference(sim.now, lba)
+                target = predictor.predict_lba(sim.now, 2)
+                result = yield drive.write(target, bytes(512))
+                latencies.append(result.rotation_ms)
+            return latencies
+
+        rotations = drive_to_completion(sim, probe())
+        spt = drive.geometry.track_sectors(2)
+        for rotation in rotations:
+            assert rotation <= predictor.delta_sectors \
+                * drive.rotation.sector_time(spt) + 1e-6
+
+    def test_undersized_delta_pays_full_rotation(self, sim):
+        """The calibration experiment's failure mode: δ too small."""
+        drive = make_tiny_drive(sim)
+        predictor = make_predictor(drive, delta=0)
+
+        def probe():
+            lba = drive.geometry.track_first_lba(2)
+            yield drive.read(lba, 1)
+            predictor.set_reference(sim.now, lba)
+            target = predictor.predict_lba(sim.now, 2)
+            result = yield drive.write(target, bytes(512))
+            return result
+
+        result = drive_to_completion(sim, probe())
+        # delta 0 predicts the sector currently under the head; by the
+        # time the command overhead elapses it has passed.
+        assert result.rotation_ms > 0.8 * drive.rotation.rotation_ms
+
+    def test_calibration_on_big_disk_matches_paper(self):
+        """δ < 15 for an ST41601N-class drive (§3.1)."""
+        from repro.disk.presets import st41601n
+        from repro.sim import Simulation
+        sim = Simulation()
+        drive = st41601n().make_drive(sim, "log")
+        predictor = HeadPositionPredictor(
+            drive.geometry, rotation_ms=drive.rotation.rotation_ms)
+        result = sim.run_until(sim.process(
+            predictor.calibrate(sim, drive, track=1, max_delta=30,
+                                samples_per_delta=2)))
+        assert result.delta_sectors < 15
+        # And it must at least cover the command overhead.
+        sector_time = drive.rotation.sector_time(
+            drive.geometry.track_sectors(1))
+        assert result.delta_sectors >= int(
+            drive.command_overhead_ms / sector_time)

@@ -1,0 +1,126 @@
+"""Unit tests for the buffer pool."""
+
+import pytest
+
+from repro.baselines.standard import StandardDriver
+from repro.db.pages import BufferPool
+from repro.errors import DatabaseError
+from tests.conftest import drive_to_completion, make_tiny_drive
+
+
+def make_pool(sim, capacity_pages=4, flush_interval_ms=0.0, **kwargs):
+    disk = make_tiny_drive(sim, "tab", cylinders=40, heads=2,
+                           sectors_per_track=16)
+    device = StandardDriver(sim, {0: disk})
+    pool = BufferPool(sim, device, capacity_pages=capacity_pages,
+                      page_sectors=4, flush_interval_ms=flush_interval_ms,
+                      **kwargs)
+    return pool, device, disk
+
+
+def fetch(sim, pool, disk_id, lba, dirty=False):
+    def body():
+        frame = yield pool.fetch(disk_id, lba, dirty=dirty)
+        return frame
+    return drive_to_completion(sim, body())
+
+
+class TestCaching:
+    def test_miss_then_hit(self, sim):
+        pool, device, _disk = make_pool(sim)
+        fetch(sim, pool, 0, 0)
+        assert pool.stats.misses == 1
+        fetch(sim, pool, 0, 0)
+        assert pool.stats.hits == 1
+        assert device.stats.reads == 1
+
+    def test_miss_costs_disk_time(self, sim):
+        pool, _device, _disk = make_pool(sim)
+        before = sim.now
+        fetch(sim, pool, 0, 16)
+        assert sim.now > before
+
+    def test_hit_costs_no_time(self, sim):
+        pool, _device, _disk = make_pool(sim)
+        fetch(sim, pool, 0, 16)
+        before = sim.now
+        fetch(sim, pool, 0, 16)
+        assert sim.now == before
+
+    def test_lru_eviction(self, sim):
+        pool, device, _disk = make_pool(sim, capacity_pages=2)
+        fetch(sim, pool, 0, 0)
+        fetch(sim, pool, 0, 4)
+        fetch(sim, pool, 0, 8)   # evicts page 0
+        fetch(sim, pool, 0, 0)   # miss again
+        assert pool.stats.misses == 4
+
+    def test_access_refreshes_lru(self, sim):
+        pool, _device, _disk = make_pool(sim, capacity_pages=2)
+        fetch(sim, pool, 0, 0)
+        fetch(sim, pool, 0, 4)
+        fetch(sim, pool, 0, 0)   # page 0 becomes most recent
+        fetch(sim, pool, 0, 8)   # evicts page 4
+        fetch(sim, pool, 0, 0)   # still a hit
+        assert pool.stats.misses == 3
+
+    def test_dirty_eviction_writes_back(self, sim):
+        pool, device, disk = make_pool(sim, capacity_pages=1)
+        fetch(sim, pool, 0, 0, dirty=True)
+        fetch(sim, pool, 0, 4)
+        assert pool.stats.dirty_evictions == 1
+        assert device.stats.logical_writes == 1
+
+    def test_hit_ratio(self, sim):
+        pool, _device, _disk = make_pool(sim)
+        fetch(sim, pool, 0, 0)
+        fetch(sim, pool, 0, 0)
+        fetch(sim, pool, 0, 0)
+        assert pool.stats.hit_ratio == pytest.approx(2 / 3)
+
+    def test_preload_marks_resident(self, sim):
+        pool, device, _disk = make_pool(sim)
+        assert pool.preload(0, 0)
+        fetch(sim, pool, 0, 0)
+        assert pool.stats.hits == 1
+        assert device.stats.reads == 0
+
+    def test_preload_respects_capacity(self, sim):
+        pool, _device, _disk = make_pool(sim, capacity_pages=2)
+        assert pool.preload(0, 0)
+        assert pool.preload(0, 4)
+        assert not pool.preload(0, 8)
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(DatabaseError):
+            make_pool(sim, capacity_pages=0)
+
+
+class TestFlusher:
+    def test_background_flush_cleans_dirty_pages(self, sim):
+        pool, device, _disk = make_pool(sim, flush_interval_ms=5.0)
+        pool.start()
+        fetch(sim, pool, 0, 0, dirty=True)
+        fetch(sim, pool, 0, 4, dirty=True)
+        sim.run(until=sim.now + 60)
+        assert pool.dirty_pages == 0
+        assert pool.stats.background_writes == 2
+        pool.stop()
+
+    def test_flush_all(self, sim):
+        pool, device, _disk = make_pool(sim)
+        fetch(sim, pool, 0, 0, dirty=True)
+        fetch(sim, pool, 0, 4, dirty=True)
+        drive_to_completion(sim, pool.flush_all())
+        assert pool.dirty_pages == 0
+
+    def test_double_start_rejected(self, sim):
+        pool, _device, _disk = make_pool(sim, flush_interval_ms=5.0)
+        pool.start()
+        with pytest.raises(DatabaseError):
+            pool.start()
+        pool.stop()
+
+    def test_stop_without_start_is_fine(self, sim):
+        pool, _device, _disk = make_pool(sim)
+        pool.stop()

@@ -1,0 +1,129 @@
+"""Unit tests for the seek and rotation models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disk.mechanics import RotationModel, SeekModel
+from repro.errors import GeometryError
+
+
+@pytest.fixture
+def seek():
+    return SeekModel(num_cylinders=1000, track_to_track_ms=1.7,
+                     average_ms=11.5, full_stroke_ms=22.0,
+                     head_switch_ms=1.5)
+
+
+class TestSeekModel:
+    def test_anchored_at_datasheet_points(self, seek):
+        assert math.isclose(seek.seek_time(0, 1), 1.7, rel_tol=1e-6)
+        assert math.isclose(seek.seek_time(0, 999), 22.0, rel_tol=1e-6)
+        third = max(2, round((1000 - 1) / 3))
+        assert math.isclose(seek.seek_time(0, third), 11.5, rel_tol=0.02)
+
+    def test_zero_distance_is_free(self, seek):
+        assert seek.seek_time(500, 500) == 0.0
+
+    def test_symmetric(self, seek):
+        assert seek.seek_time(10, 600) == seek.seek_time(600, 10)
+
+    def test_monotonic_in_distance(self, seek):
+        previous = 0.0
+        for distance in range(1, 1000, 7):
+            current = seek.seek_time(0, distance)
+            assert current >= previous - 1e-9
+            previous = current
+
+    def test_floor_at_track_to_track(self, seek):
+        for distance in (1, 2, 3, 5):
+            assert seek.seek_time(0, distance) >= 1.7 - 1e-9
+
+    def test_reposition_same_track(self, seek):
+        assert seek.reposition_time(3, 1, 3, 1) == 0.0
+
+    def test_reposition_head_switch(self, seek):
+        assert seek.reposition_time(3, 0, 3, 1) == 1.5
+
+    def test_reposition_cross_cylinder(self, seek):
+        assert seek.reposition_time(3, 0, 4, 1) == seek.seek_time(3, 4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(GeometryError):
+            SeekModel(1, 1.0, 2.0, 3.0)
+        with pytest.raises(GeometryError):
+            SeekModel(100, 5.0, 2.0, 3.0)  # t2t > average
+        with pytest.raises(GeometryError):
+            SeekModel(100, 1.0, 2.0, 3.0, head_switch_ms=-1)
+
+
+class TestRotationModel:
+    def test_rotation_period_5400rpm(self):
+        rotation = RotationModel(5400)
+        assert math.isclose(rotation.rotation_ms, 60_000 / 5400)
+        assert math.isclose(rotation.average_rotational_latency_ms,
+                            rotation.rotation_ms / 2)
+
+    def test_angle_wraps(self):
+        rotation = RotationModel(6000)  # 10 ms per rev
+        assert math.isclose(rotation.angle_at(0.0), 0.0)
+        assert math.isclose(rotation.angle_at(2.5), 0.25)
+        assert math.isclose(rotation.angle_at(12.5), 0.25)
+
+    def test_sector_under_head(self):
+        rotation = RotationModel(6000)
+        assert rotation.sector_under_head(0.0, 10) == 0
+        assert rotation.sector_under_head(1.05, 10) == 1
+        assert rotation.sector_under_head(9.99, 10) == 9
+
+    def test_sector_time(self):
+        rotation = RotationModel(6000)
+        assert math.isclose(rotation.sector_time(10), 1.0)
+        with pytest.raises(GeometryError):
+            rotation.sector_time(0)
+
+    def test_time_until_sector_zero_at_boundary(self):
+        rotation = RotationModel(6000)
+        assert math.isclose(rotation.time_until_sector(2.0, 2, 10), 0.0)
+
+    def test_time_until_sector_just_missed_costs_full_rotation(self):
+        rotation = RotationModel(6000)
+        wait = rotation.time_until_sector(2.001, 2, 10)
+        assert 9.9 < wait < 10.0
+
+    def test_time_until_sector_range_check(self):
+        rotation = RotationModel(6000)
+        with pytest.raises(GeometryError):
+            rotation.time_until_sector(0.0, 10, 10)
+
+    @given(st.floats(min_value=0, max_value=1e5, allow_nan=False),
+           st.integers(0, 31))
+    def test_wait_always_less_than_revolution(self, time_ms, sector):
+        rotation = RotationModel(5400)
+        wait = rotation.time_until_sector(time_ms, sector, 32)
+        assert 0 <= wait < rotation.rotation_ms
+
+    @given(st.floats(min_value=0, max_value=1e4, allow_nan=False),
+           st.integers(1, 64))
+    def test_head_lands_on_target(self, time_ms, spt):
+        """After waiting for a sector, that sector is under the head."""
+        rotation = RotationModel(5400)
+        sector = int(time_ms) % spt
+        wait = rotation.time_until_sector(time_ms, sector, spt)
+        arrived = rotation.sector_under_head(time_ms + wait + 1e-9, spt)
+        assert arrived == sector
+
+    def test_phase_drift_shifts_angle(self):
+        drift = lambda t: 0.25  # constant quarter-revolution offset
+        rotation = RotationModel(6000, phase_drift=drift)
+        assert math.isclose(rotation.angle_at(0.0), 0.25)
+
+    def test_drift_makes_stale_reference_wrong(self):
+        """Growing drift: a prediction from t=0 misses at large t."""
+        drift = lambda t: t / 1000.0 * 0.3  # 0.3 rev per second of drift
+        drifting = RotationModel(6000, phase_drift=drift)
+        ideal = RotationModel(6000)
+        # At t=1000 ms the drifting platter leads by 0.3 of a revolution.
+        delta = (drifting.angle_at(1000.0) - ideal.angle_at(1000.0)) % 1.0
+        assert math.isclose(delta, 0.3, abs_tol=1e-9)

@@ -1,0 +1,88 @@
+"""Tests anchoring the drive presets to the paper's stated parameters."""
+
+import math
+
+from repro.disk.presets import (
+    st41601n, tiny_test_disk, wd_caviar_10gb, wd_caviar_capacity_example)
+
+
+class TestSt41601n:
+    """The paper's Trail log disk (§5, §5.3)."""
+
+    def test_track_count_matches_section_5_3(self):
+        # "a total of 35,717 tracks are in our testing disk"
+        assert st41601n().geometry().num_tracks == 35_717
+
+    def test_rotation_5400_rpm(self):
+        spec = st41601n()
+        assert spec.rpm == 5400.0
+        rotation_ms = 60_000 / 5400
+        # Average rotational latency ~5.5 ms (§5.1).
+        assert math.isclose(rotation_ms / 2, 5.55, abs_tol=0.05)
+
+    def test_track_to_track_seek(self):
+        # "1.7-msec track-to-track seek time"
+        assert st41601n().track_to_track_ms == 1.7
+
+    def test_sector_transfer_near_paper_value(self):
+        # "data transfer delay for a single 512-byte sector ... is about
+        # 0.13 msec" — true in the outer zone.
+        spec = st41601n()
+        geometry = spec.geometry()
+        outer_spt = geometry.sectors_per_track(0)
+        sector_time = (60_000 / spec.rpm) / outer_spt
+        assert 0.11 <= sector_time <= 0.14
+
+    def test_one_sector_write_cost_near_1_4_ms(self):
+        # overhead + 1 sector transfer ~= the paper's ~1.40 ms (§5.1).
+        spec = st41601n()
+        geometry = spec.geometry()
+        sector_time = (60_000 / spec.rpm) / geometry.sectors_per_track(0)
+        assert 1.3 <= spec.command_overhead_ms + sector_time <= 1.5
+
+    def test_capacity_close_to_1_37_gb(self):
+        capacity = st41601n().geometry().capacity_bytes
+        assert 1.2e9 < capacity < 1.6e9
+
+
+class TestWdCaviar:
+    def test_10gb_capacity(self):
+        capacity = wd_caviar_10gb().geometry().capacity_bytes
+        assert 9.0e9 < capacity < 11.0e9
+
+    def test_track_to_track(self):
+        # "2-msec track-to-track seek time"
+        assert wd_caviar_10gb().track_to_track_ms == 2.0
+
+    def test_capacity_example_matches_section_4_4_arithmetic(self):
+        """§4.4: >100K tracks, ~550 SPT average, so at 30% utilization
+        the log buffers more than 8 GB."""
+        geometry = wd_caviar_capacity_example().geometry()
+        assert geometry.num_tracks > 100_000
+        average_spt = geometry.total_sectors / geometry.num_tracks
+        assert 480 <= average_spt <= 620
+        buffered = geometry.total_sectors * 512 * 0.30
+        # "more than 8 GBytes" — decimal gigabytes, as disk vendors (and
+        # the paper's 100,000 x 550 x 512 x 0.3 arithmetic) use.
+        assert buffered > 8e9
+
+
+class TestTinyTestDisk:
+    def test_defaults(self):
+        geometry = tiny_test_disk().geometry()
+        assert geometry.num_tracks == 40
+        assert geometry.total_sectors == 640
+
+    def test_parameterized(self):
+        geometry = tiny_test_disk(cylinders=5, heads=3,
+                                  sectors_per_track=8).geometry()
+        assert geometry.num_tracks == 15
+        assert geometry.total_sectors == 120
+
+    def test_make_drive_binds_simulation(self):
+        from repro.sim import Simulation
+        sim = Simulation()
+        drive = tiny_test_disk().make_drive(sim, "d")
+        assert drive.sim is sim
+        assert drive.name == "d"
+        assert drive.store.total_sectors == drive.geometry.total_sectors

@@ -1,0 +1,113 @@
+"""Tests for the C-LOOK elevator command scheduler."""
+
+import random
+
+import pytest
+
+from repro.disk.presets import tiny_test_disk
+from repro.sim import Simulation
+from tests.conftest import drive_to_completion
+
+
+def _make(sim, scheduling):
+    spec = tiny_test_disk(cylinders=100, heads=2, sectors_per_track=16)
+    from repro.disk.drive import DiskDrive
+    from repro.disk.mechanics import RotationModel
+    return DiskDrive(
+        sim=sim, geometry=spec.geometry(), seek=spec.seek_model(),
+        rotation=RotationModel(spec.rpm),
+        command_overhead_ms=spec.command_overhead_ms,
+        name="disk", scheduling=scheduling)
+
+
+def lba_of_cylinder(drive, cylinder):
+    return drive.geometry.chs_to_lba(cylinder, 0, 0)
+
+
+class TestElevatorOrder:
+    def test_sweep_order(self, sim):
+        drive = _make(sim, "elevator")
+        order = []
+
+        def reader(tag, cylinder):
+            yield drive.read(lba_of_cylinder(drive, cylinder), 1)
+            order.append(tag)
+
+        def scenario():
+            # Pin the drive with one command, then queue scattered ones.
+            first = drive.read(lba_of_cylinder(drive, 10), 1)
+            for tag, cylinder in (("c80", 80), ("c20", 20),
+                                  ("c50", 50), ("c30", 30)):
+                sim.process(reader(tag, cylinder))
+            yield first
+
+        drive_to_completion(sim, scenario())
+        sim.run()
+        # Head at cylinder 10 after the pin: sweep upward.
+        assert order == ["c20", "c30", "c50", "c80"]
+
+    def test_clook_wraps(self, sim):
+        drive = _make(sim, "elevator")
+        order = []
+
+        def reader(tag, cylinder):
+            yield drive.read(lba_of_cylinder(drive, cylinder), 1)
+            order.append(tag)
+
+        def scenario():
+            first = drive.read(lba_of_cylinder(drive, 60), 1)
+            for tag, cylinder in (("c80", 80), ("c5", 5), ("c70", 70)):
+                sim.process(reader(tag, cylinder))
+            yield first
+
+        drive_to_completion(sim, scenario())
+        sim.run()
+        # From cylinder 60: 70, 80, then wrap to 5.
+        assert order == ["c70", "c80", "c5"]
+
+    def test_priority_still_dominates(self, sim):
+        from repro.disk.controller import PRIORITY_READ, PRIORITY_WRITE
+        drive = _make(sim, "elevator")
+        order = []
+
+        def issue(tag, cylinder, priority):
+            yield drive.read(lba_of_cylinder(drive, cylinder), 1,
+                             priority=priority)
+            order.append(tag)
+
+        def scenario():
+            first = drive.read(lba_of_cylinder(drive, 50), 1)
+            sim.process(issue("w-near", 51, PRIORITY_WRITE))
+            sim.process(issue("r-far", 90, PRIORITY_READ))
+            yield first
+
+        drive_to_completion(sim, scenario())
+        sim.run()
+        assert order == ["r-far", "w-near"]
+
+    def test_unknown_discipline_rejected(self, sim):
+        with pytest.raises(ValueError):
+            _make(sim, "magic")
+
+
+class TestElevatorBeatsFifoOnSeeks:
+    def test_total_seek_time_lower(self):
+        def total_seek(scheduling):
+            sim = Simulation()
+            drive = _make(sim, scheduling)
+            rng = random.Random(4)
+            lbas = [lba_of_cylinder(drive, rng.randrange(100))
+                    for _ in range(40)]
+            processes = []
+
+            def reader(lba):
+                yield drive.read(lba, 1)
+
+            for lba in lbas:
+                processes.append(sim.process(reader(lba)))
+            sim.run_until(sim.all_of(processes))
+            return drive.stats.seek_ms
+
+        fifo = total_seek("priority")
+        elevator = total_seek("elevator")
+        assert elevator < fifo * 0.7, (elevator, fifo)

@@ -1,0 +1,108 @@
+"""Unit tests for the simulation scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulation
+
+
+def test_clock_starts_at_zero():
+    assert Simulation().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulation(start_time=100.0).now == 100.0
+
+
+def test_run_empty_returns_now(sim):
+    assert sim.run() == 0.0
+
+
+def test_run_until_time_advances_clock(sim):
+    sim.timeout(3.0)
+    assert sim.run(until=10.0) == 10.0
+    assert sim.now == 10.0
+
+
+def test_run_stops_before_future_events(sim):
+    fired = []
+    sim.timeout(5.0).add_callback(lambda e: fired.append(sim.now))
+    sim.run(until=4.0)
+    assert fired == []
+    sim.run()
+    assert fired == [5.0]
+
+
+def test_run_until_past_raises(sim):
+    sim.timeout(5.0)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_same_time_events_fire_in_schedule_order(sim):
+    order = []
+    for tag in range(5):
+        sim.timeout(1.0, value=tag).add_callback(
+            lambda e: order.append(e.value))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_determinism_across_runs():
+    def trace():
+        sim = Simulation()
+        log = []
+
+        def proc(name, delay):
+            yield sim.timeout(delay)
+            log.append((sim.now, name))
+            yield sim.timeout(delay)
+            log.append((sim.now, name))
+
+        for name, delay in (("a", 2), ("b", 3), ("c", 2)):
+            sim.process(proc(name, delay))
+        sim.run()
+        return log
+
+    assert trace() == trace()
+
+
+def test_peek_returns_next_event_time(sim):
+    assert sim.peek() is None
+    sim.timeout(4.0)
+    sim.timeout(2.0)
+    assert sim.peek() == 2.0
+
+
+def test_run_until_event(sim):
+    target = sim.timeout(5.0, value="v")
+    sim.timeout(100.0)  # later noise stays unprocessed
+    assert sim.run_until(target) == "v"
+    assert sim.now == 5.0
+
+
+def test_run_until_unfirable_event_raises(sim):
+    pending = sim.event()  # never triggered, heap is empty
+    with pytest.raises(SimulationError):
+        sim.run_until(pending)
+
+
+def test_run_until_already_processed(sim):
+    event = sim.event()
+    event.succeed(9)
+    sim.run()
+    assert sim.run_until(event) == 9
+
+
+def test_nested_scheduling_from_callback(sim):
+    hits = []
+
+    def chain(event):
+        hits.append(sim.now)
+        if len(hits) < 3:
+            sim.timeout(1.0).add_callback(chain)
+
+    sim.timeout(1.0).add_callback(chain)
+    sim.run()
+    assert hits == [1.0, 2.0, 3.0]

@@ -1,0 +1,123 @@
+"""Unit tests for the measurement probes."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import CounterSet, LatencyRecorder, Simulation, UtilizationTracker
+
+
+class TestLatencyRecorder:
+    def test_empty_recorder_raises(self):
+        recorder = LatencyRecorder()
+        assert recorder.count == 0
+        with pytest.raises(ValueError):
+            _ = recorder.mean
+        with pytest.raises(ValueError):
+            _ = recorder.minimum
+        with pytest.raises(ValueError):
+            _ = recorder.stddev
+
+    def test_basic_stats(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0, 4.0):
+            recorder.record(value)
+        assert recorder.count == 4
+        assert recorder.mean == 2.5
+        assert recorder.minimum == 1.0
+        assert recorder.maximum == 4.0
+        assert recorder.total == 10.0
+        assert math.isclose(recorder.stddev, math.sqrt(1.25))
+
+    def test_samples_require_flag(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            _ = recorder.samples
+
+    def test_percentile(self):
+        recorder = LatencyRecorder(keep_samples=True)
+        for value in range(1, 101):
+            recorder.record(float(value))
+        assert recorder.percentile(0) == 1.0
+        assert recorder.percentile(100) == 100.0
+        assert math.isclose(recorder.percentile(50), 50.5)
+
+    def test_percentile_bounds(self):
+        recorder = LatencyRecorder(keep_samples=True)
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(101)
+
+    def test_merge(self):
+        left = LatencyRecorder(keep_samples=True)
+        right = LatencyRecorder(keep_samples=True)
+        left.record(1.0)
+        right.record(3.0)
+        right.record(5.0)
+        left.merge(right)
+        assert left.count == 3
+        assert left.mean == 3.0
+        assert left.maximum == 5.0
+        assert sorted(left.samples) == [1.0, 3.0, 5.0]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_mean_matches_reference(self, values):
+        recorder = LatencyRecorder()
+        for value in values:
+            recorder.record(value)
+        assert math.isclose(recorder.mean, sum(values) / len(values),
+                            rel_tol=1e-9, abs_tol=1e-9)
+        assert recorder.minimum == min(values)
+        assert recorder.maximum == max(values)
+
+
+class TestCounterSet:
+    def test_default_zero(self):
+        counters = CounterSet()
+        assert counters.get("missing") == 0.0
+
+    def test_add_accumulates(self):
+        counters = CounterSet()
+        counters.add("x")
+        counters.add("x", 2.5)
+        assert counters.get("x") == 3.5
+
+    def test_as_dict_is_snapshot(self):
+        counters = CounterSet()
+        counters.add("a")
+        snapshot = counters.as_dict()
+        counters.add("a")
+        assert snapshot == {"a": 1.0}
+
+
+class TestUtilizationTracker:
+    def test_constant_level(self):
+        sim = Simulation()
+        tracker = UtilizationTracker(sim, initial_level=2.0)
+        sim.timeout(10)
+        sim.run()
+        assert tracker.time_average() == 2.0
+
+    def test_step_change(self):
+        sim = Simulation()
+        tracker = UtilizationTracker(sim, initial_level=0.0)
+
+        def stepper():
+            yield sim.timeout(4)
+            tracker.set_level(10.0)
+            yield sim.timeout(6)
+
+        sim.process(stepper())
+        sim.run()
+        # 4 ms at 0 plus 6 ms at 10 over 10 ms total.
+        assert math.isclose(tracker.time_average(), 6.0)
+
+    def test_adjust(self):
+        sim = Simulation()
+        tracker = UtilizationTracker(sim)
+        tracker.adjust(+3)
+        tracker.adjust(-1)
+        assert tracker.level == 2

@@ -1,0 +1,102 @@
+"""Tests for unit conversions and the exception hierarchy."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import errors, units
+
+
+class TestConversions:
+    def test_seconds(self):
+        assert units.seconds(2) == 2000.0
+
+    def test_milliseconds_identity(self):
+        assert units.milliseconds(3.5) == 3.5
+
+    def test_microseconds(self):
+        assert units.microseconds(1500) == 1.5
+
+    def test_minutes(self):
+        assert units.minutes(2) == 120_000.0
+
+    def test_to_seconds_round_trip(self):
+        assert units.to_seconds(units.seconds(7.25)) == 7.25
+
+    def test_sizes(self):
+        assert units.KiB(1) == 1024
+        assert units.MiB(1) == 1024 ** 2
+        assert units.GiB(1) == 1024 ** 3
+        assert units.KiB(1.5) == 1536
+
+
+class TestSectorsFor:
+    def test_exact(self):
+        assert units.sectors_for(1024) == 2
+
+    def test_rounds_up(self):
+        assert units.sectors_for(1025) == 3
+        assert units.sectors_for(1) == 1
+
+    def test_zero(self):
+        assert units.sectors_for(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.sectors_for(-1)
+
+    @given(st.integers(0, 10**9), st.integers(1, 4096))
+    def test_property(self, nbytes, sector_size):
+        count = units.sectors_for(nbytes, sector_size)
+        assert count * sector_size >= nbytes
+        assert (count - 1) * sector_size < nbytes or count == 0
+
+
+class TestRpm:
+    def test_5400_rpm(self):
+        assert math.isclose(units.rpm_to_rotation_ms(5400),
+                            11.11, abs_tol=0.01)
+
+    def test_7200_rpm(self):
+        assert math.isclose(units.rpm_to_rotation_ms(7200), 8.333,
+                            abs_tol=0.001)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            units.rpm_to_rotation_ms(0)
+        with pytest.raises(ValueError):
+            units.rpm_to_rotation_ms(-100)
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in ("SimulationError", "DiskError", "AddressError",
+                     "GeometryError", "MediaError", "DiskHaltedError",
+                     "TrailError", "LogFormatError", "LogDiskFullError",
+                     "RecoveryError", "NotATrailDiskError",
+                     "DatabaseError", "TransactionAborted",
+                     "DeadlockError", "IntentionalRollback",
+                     "WorkloadError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_disk_family(self):
+        assert issubclass(errors.AddressError, errors.DiskError)
+        assert issubclass(errors.DiskHaltedError, errors.DiskError)
+
+    def test_trail_family(self):
+        assert issubclass(errors.LogFormatError, errors.TrailError)
+        assert issubclass(errors.LogDiskFullError, errors.TrailError)
+        assert issubclass(errors.NotATrailDiskError, errors.TrailError)
+
+    def test_transaction_family(self):
+        assert issubclass(errors.DeadlockError,
+                          errors.TransactionAborted)
+        assert issubclass(errors.IntentionalRollback,
+                          errors.TransactionAborted)
+        assert issubclass(errors.TransactionAborted,
+                          errors.DatabaseError)
+
+    def test_deadlock_is_not_intentional(self):
+        assert not issubclass(errors.DeadlockError,
+                              errors.IntentionalRollback)

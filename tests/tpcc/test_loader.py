@@ -1,0 +1,95 @@
+"""Unit tests for TPC-C database construction."""
+
+import pytest
+
+from repro.baselines.standard import StandardDriver
+from repro.db.engine import TransactionEngine
+from repro.db.locks import LockManager
+from repro.db.pages import BufferPool
+from repro.db.wal import WriteAheadLog
+from repro.baselines.group_commit import SyncCommitPolicy
+from repro.tpcc.loader import TABLE_DISK_A, TABLE_DISK_B, TpccDatabase
+from repro.tpcc.random_gen import TpccRandom
+from repro.tpcc.schema import (
+    INITIAL_NEW_ORDERS_PER_DISTRICT, INITIAL_ORDERS_PER_DISTRICT,
+    TpccScale)
+from repro.disk.presets import wd_caviar_10gb
+from repro.sim import Simulation
+
+
+@pytest.fixture(scope="module")
+def loaded_db():
+    sim = Simulation()
+    disks = {disk_id: wd_caviar_10gb().make_drive(sim, f"d{disk_id}")
+             for disk_id in range(3)}
+    device = StandardDriver(sim, disks)
+    wal = WriteAheadLog(sim, device, 0, 0, 4096, SyncCommitPolicy())
+    pool = BufferPool(sim, device, capacity_pages=2000,
+                      flush_interval_ms=0.0)
+    engine = TransactionEngine(sim, device, wal, pool, LockManager(sim))
+    db = TpccDatabase(engine, TpccScale(1), TpccRandom(0))
+    db.load()
+    return db
+
+
+class TestPhysicalSchema:
+    def test_tables_on_paper_layout(self, loaded_db):
+        assert loaded_db.customer.disk_id == TABLE_DISK_A
+        assert loaded_db.stock.disk_id == TABLE_DISK_B
+        assert loaded_db.order_line.disk_id == TABLE_DISK_B
+
+    def test_table_row_capacities(self, loaded_db):
+        scale = loaded_db.scale
+        assert loaded_db.customer.spec.max_rows == scale.customers
+        assert loaded_db.stock.spec.max_rows == scale.stock_rows
+        assert loaded_db.order.spec.max_rows == scale.order_rows
+
+
+class TestDomainState:
+    def test_next_order_ids(self, loaded_db):
+        assert loaded_db.next_o_id == [INITIAL_ORDERS_PER_DISTRICT + 1] * 10
+
+    def test_undelivered_queues(self, loaded_db):
+        for queue in loaded_db.undelivered:
+            assert len(queue) == INITIAL_NEW_ORDERS_PER_DISTRICT
+            # Oldest undelivered order first.
+            assert queue[0] == (INITIAL_ORDERS_PER_DISTRICT
+                                - INITIAL_NEW_ORDERS_PER_DISTRICT + 1)
+            assert queue[-1] == INITIAL_ORDERS_PER_DISTRICT
+
+    def test_stock_quantities_in_spec_range(self, loaded_db):
+        quantities = loaded_db.stock_quantity
+        assert len(quantities) == 100_000
+        assert all(10 <= quantity <= 100 for quantity in quantities)
+
+    def test_every_initial_order_has_info(self, loaded_db):
+        scale = loaded_db.scale
+        for d in (1, 4, 10):
+            for o in (1, 1500, 3000):
+                customer, ol_cnt, delivered = loaded_db.order_info[
+                    scale.order_index(1, d, o)]
+                assert 1 <= customer <= 3000
+                assert 5 <= ol_cnt <= 15
+                assert delivered == (o <= 2100)
+
+    def test_every_customer_has_a_last_order(self, loaded_db):
+        scale = loaded_db.scale
+        # The per-district permutation touches each customer exactly
+        # once per 3000 orders.
+        for c in (1, 777, 3000):
+            assert scale.customer_index(1, 1, c) in loaded_db.last_order_of
+
+    def test_balances_initialized(self, loaded_db):
+        assert all(balance == -10.0
+                   for balance in loaded_db.customer_balance[:100])
+
+    def test_loaded_flag(self, loaded_db):
+        assert loaded_db.loaded
+
+
+class TestWarmCache:
+    def test_warm_cache_fills_pool(self, loaded_db):
+        pool = loaded_db.engine.pool
+        loaded = loaded_db.warm_cache()
+        assert loaded == pool.capacity_pages  # pool smaller than plan
+        assert len(pool._frames) == pool.capacity_pages

@@ -1,0 +1,90 @@
+"""Unit tests for TPC-C input generation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tpcc.random_gen import TpccRandom, last_name
+
+
+class TestLastName:
+    def test_known_values(self):
+        assert last_name(0) == "BARBARBAR"
+        assert last_name(371) == "PRICALLYOUGHT"
+        assert last_name(999) == "EINGEINGEING"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            last_name(1000)
+        with pytest.raises(ValueError):
+            last_name(-1)
+
+    @given(st.integers(0, 999))
+    def test_three_syllables(self, number):
+        name = last_name(number)
+        assert 9 <= len(name) <= 15
+
+
+class TestDistributions:
+    def test_seeded_reproducibility(self):
+        a = [TpccRandom(7).item_id() for _ in range(20)]
+        b = [TpccRandom(7).item_id() for _ in range(20)]
+        assert a == b
+
+    def test_nurand_in_range(self):
+        rnd = TpccRandom(1)
+        for _ in range(500):
+            value = rnd.nurand(8191, 1, 100_000, 987)
+            assert 1 <= value <= 100_000
+
+    def test_item_id_range(self):
+        rnd = TpccRandom(2)
+        values = [rnd.item_id() for _ in range(500)]
+        assert all(1 <= v <= 100_000 for v in values)
+        # NURand is skewed: values repeat far more than uniform would.
+        assert len(set(values)) < 500
+
+    def test_customer_id_range(self):
+        rnd = TpccRandom(3)
+        assert all(1 <= rnd.customer_id() <= 3000 for _ in range(300))
+
+    def test_order_line_count_range(self):
+        rnd = TpccRandom(4)
+        values = {rnd.order_line_count() for _ in range(500)}
+        assert values <= set(range(5, 16))
+        assert {5, 15} <= values  # extremes occur
+
+    def test_remote_warehouse_single_warehouse(self):
+        rnd = TpccRandom(5)
+        for _ in range(100):
+            warehouse, remote = rnd.remote_warehouse(1, 1)
+            assert warehouse == 1 and not remote
+
+    def test_remote_warehouse_multi(self):
+        rnd = TpccRandom(6)
+        remotes = 0
+        for _ in range(5000):
+            warehouse, remote = rnd.remote_warehouse(2, 4)
+            assert 1 <= warehouse <= 4
+            if remote:
+                remotes += 1
+                assert warehouse != 2
+        assert 10 <= remotes <= 150  # ~1%
+
+    def test_invalid_item_rate(self):
+        rnd = TpccRandom(7)
+        count = sum(rnd.invalid_item() for _ in range(10_000))
+        assert 50 <= count <= 200  # ~1%
+
+    def test_by_last_name_rate(self):
+        rnd = TpccRandom(8)
+        count = sum(rnd.by_last_name() for _ in range(10_000))
+        assert 5500 <= count <= 6500  # 60%
+
+    def test_payment_amount_range(self):
+        rnd = TpccRandom(9)
+        for _ in range(200):
+            assert 1.0 <= rnd.payment_amount() <= 5000.0
+
+    def test_threshold_range(self):
+        rnd = TpccRandom(10)
+        assert all(10 <= rnd.threshold() <= 20 for _ in range(200))

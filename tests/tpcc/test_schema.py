@@ -1,0 +1,91 @@
+"""Unit tests for TPC-C schema cardinalities and index mapping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tpcc.schema import (
+    CUSTOMERS_PER_DISTRICT, DISTRICTS_PER_WAREHOUSE, ITEMS,
+    MAX_ORDER_LINES, RECORD_BYTES, TRANSACTION_MIX, TpccScale)
+
+
+class TestScale:
+    def test_w1_cardinalities(self):
+        scale = TpccScale(1)
+        assert scale.districts == 10
+        assert scale.customers == 30_000
+        assert scale.stock_rows == 100_000
+
+    def test_w3_cardinalities(self):
+        scale = TpccScale(3)
+        assert scale.districts == 30
+        assert scale.customers == 90_000
+        assert scale.stock_rows == 300_000
+
+    def test_invalid_warehouses(self):
+        with pytest.raises(ValueError):
+            TpccScale(0)
+
+    def test_database_size_order_of_magnitude(self):
+        # Raw row bytes for w=1 are tens of MB; the paper's ">0.5 GB"
+        # includes index and allocation overheads.
+        size = TpccScale(1).database_bytes()
+        assert 50e6 < size < 200e6
+
+    def test_mix_sums_to_100(self):
+        assert sum(weight for _name, weight in TRANSACTION_MIX) == 100.0
+
+    def test_record_sizes_present_for_all_tables(self):
+        assert set(RECORD_BYTES) == {
+            "warehouse", "district", "customer", "history", "new_order",
+            "order", "order_line", "item", "stock"}
+
+
+class TestIndexMapping:
+    def test_district_indices_dense(self):
+        scale = TpccScale(2)
+        seen = set()
+        for w in range(1, 3):
+            for d in range(1, 11):
+                seen.add(scale.district_index(w, d))
+        assert seen == set(range(20))
+
+    def test_customer_indices_unique(self):
+        scale = TpccScale(1)
+        sample = {scale.customer_index(1, d, c)
+                  for d in (1, 5, 10) for c in (1, 1500, 3000)}
+        assert len(sample) == 9
+
+    def test_out_of_range_rejected(self):
+        scale = TpccScale(1)
+        with pytest.raises(ValueError):
+            scale.warehouse_index(2)
+        with pytest.raises(ValueError):
+            scale.district_index(1, 11)
+        with pytest.raises(ValueError):
+            scale.customer_index(1, 1, 3001)
+        with pytest.raises(ValueError):
+            scale.item_index(0)
+        with pytest.raises(ValueError):
+            scale.order_line_index(1, 1, 1, MAX_ORDER_LINES + 1)
+
+    @given(st.integers(1, 2), st.integers(1, 10), st.integers(1, 3000))
+    def test_customer_index_bijective(self, w, d, c):
+        scale = TpccScale(2)
+        index = scale.customer_index(w, d, c)
+        assert 0 <= index < scale.customers
+        # Invert.
+        district_part, c_part = divmod(index, CUSTOMERS_PER_DISTRICT)
+        w_part, d_part = divmod(district_part, DISTRICTS_PER_WAREHOUSE)
+        assert (w_part + 1, d_part + 1, c_part + 1) == (w, d, c)
+
+    @given(st.integers(1, 2), st.integers(1, 10),
+           st.integers(1, 100), st.integers(1, MAX_ORDER_LINES))
+    def test_order_line_index_in_extent(self, w, d, o, ol):
+        scale = TpccScale(2)
+        index = scale.order_line_index(w, d, o, ol)
+        assert 0 <= index < scale.order_line_rows
+
+    def test_order_indices_distinct_across_districts(self):
+        scale = TpccScale(1)
+        assert (scale.order_index(1, 1, scale.orders_per_district)
+                < scale.order_index(1, 2, 1))

@@ -1,0 +1,153 @@
+"""Unit tests for the five TPC-C transaction profiles."""
+
+import pytest
+
+from repro.baselines.group_commit import SyncCommitPolicy
+from repro.baselines.standard import StandardDriver
+from repro.db.engine import TransactionEngine
+from repro.db.locks import LockManager
+from repro.db.pages import BufferPool
+from repro.db.wal import WriteAheadLog
+from repro.disk.presets import wd_caviar_10gb
+from repro.errors import IntentionalRollback
+from repro.sim import Simulation
+from repro.tpcc.loader import TpccDatabase
+from repro.tpcc.random_gen import TpccRandom
+from repro.tpcc.schema import TpccScale
+from repro.tpcc.transactions import TpccTransactions
+
+
+@pytest.fixture
+def env():
+    sim = Simulation()
+    disks = {disk_id: wd_caviar_10gb().make_drive(sim, f"d{disk_id}")
+             for disk_id in range(3)}
+    device = StandardDriver(sim, disks)
+    wal = WriteAheadLog(sim, device, 0, 0, 65536, SyncCommitPolicy())
+    pool = BufferPool(sim, device, capacity_pages=4000,
+                      flush_interval_ms=0.0)
+    engine = TransactionEngine(sim, device, wal, pool, LockManager(sim),
+                               cpu_ms_per_op=0.01)
+    db = TpccDatabase(engine, TpccScale(1), TpccRandom(11))
+    db.load()
+    transactions = TpccTransactions(engine, db, TpccRandom(99))
+    return sim, engine, db, transactions
+
+
+def run_tx(sim, engine, body):
+    def runner():
+        return (yield from engine.run_transaction(body))
+    return sim.run_until(sim.process(runner()))
+
+
+class TestNewOrder:
+    def test_advances_order_id_and_queues_delivery(self, env):
+        sim, engine, db, transactions = env
+        district_totals = list(db.next_o_id)
+        queue_lengths = [len(q) for q in db.undelivered]
+        run_tx(sim, engine, transactions.new_order(1))
+        assert sum(db.next_o_id) == sum(district_totals) + 1
+        assert (sum(len(q) for q in db.undelivered)
+                == sum(queue_lengths) + 1)
+        assert engine.stats.committed == 1
+
+    def test_generates_log_volume(self, env):
+        sim, engine, db, transactions = env
+        wal = engine.wal
+        run_tx(sim, engine, transactions.new_order(1))
+        # Order lines + stock after-images: multiple KB per order.
+        assert wal.stats.bytes_appended > 1500
+
+    def test_records_order_info(self, env):
+        sim, engine, db, transactions = env
+        before = dict(db.order_info)
+        run_tx(sim, engine, transactions.new_order(1))
+        new_orders = set(db.order_info) - set(before)
+        assert len(new_orders) == 1
+        _customer, ol_cnt, delivered = db.order_info[new_orders.pop()]
+        assert 5 <= ol_cnt <= 15
+        assert delivered is False
+
+
+class TestPayment:
+    def test_updates_balances(self, env):
+        sim, engine, db, transactions = env
+        warehouse_before = db.warehouse_ytd[0]
+        balance_before = sum(db.customer_balance)
+        run_tx(sim, engine, transactions.payment(1))
+        assert db.warehouse_ytd[0] > warehouse_before
+        assert sum(db.customer_balance) < balance_before
+
+    def test_appends_history(self, env):
+        sim, engine, db, transactions = env
+        before = db.history_next
+        run_tx(sim, engine, transactions.payment(1))
+        assert db.history_next == before + 1
+
+
+class TestOrderStatus:
+    def test_read_only(self, env):
+        sim, engine, db, transactions = env
+        wal = engine.wal
+        run_tx(sim, engine, transactions.order_status(1))
+        # Only the commit marker, no record images.
+        assert wal.stats.bytes_appended < 100
+        assert engine.stats.committed == 1
+
+
+class TestDelivery:
+    def test_drains_undelivered_queues(self, env):
+        sim, engine, db, transactions = env
+        heads = [queue[0] for queue in db.undelivered]
+        lengths = [len(queue) for queue in db.undelivered]
+        run_tx(sim, engine, transactions.delivery(1))
+        for district, queue in enumerate(db.undelivered):
+            assert len(queue) == lengths[district] - 1
+            assert queue[0] == heads[district] + 1
+        # Each delivered order is marked so.
+        scale = db.scale
+        for district, o_id in enumerate(heads):
+            info = db.order_info[scale.order_index(1, district + 1, o_id)]
+            assert info[2] is True
+
+
+class TestStockLevel:
+    def test_read_only_and_commits(self, env):
+        sim, engine, db, transactions = env
+        run_tx(sim, engine, transactions.stock_level(1))
+        assert engine.stats.committed == 1
+
+
+class TestMixAndRollback:
+    def test_choose_type_distribution(self, env):
+        _sim, _engine, _db, transactions = env
+        counts = {}
+        for _ in range(4000):
+            name = transactions.choose_type()
+            counts[name] = counts.get(name, 0) + 1
+        assert 0.40 < counts["new_order"] / 4000 < 0.50
+        assert 0.38 < counts["payment"] / 4000 < 0.48
+        for minor in ("order_status", "delivery", "stock_level"):
+            assert 0.02 < counts[minor] / 4000 < 0.07
+
+    def test_unknown_type_rejected(self, env):
+        _sim, _engine, _db, transactions = env
+        with pytest.raises(ValueError):
+            transactions.make("bogus", 1)
+
+    def test_intentional_rollback_leaves_no_domain_trace(self, env):
+        sim, engine, db, transactions = env
+        # Force the 1% invalid-item path by running until one occurs.
+        before_orders = sum(db.next_o_id)
+        rollbacks = 0
+        for _ in range(300):
+            body = transactions.new_order(1)
+            try:
+                run_tx(sim, engine, body)
+            except IntentionalRollback:
+                rollbacks += 1
+                break
+        assert rollbacks == 1
+        # The rolled-back attempt allocated no order id.
+        committed = engine.stats.committed
+        assert sum(db.next_o_id) == before_orders + committed

@@ -1,0 +1,127 @@
+"""Tests for trace synthesis, serialization, and replay."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import build_standard_system, build_trail_system
+from repro.core.config import TrailConfig
+from repro.disk.presets import tiny_test_disk
+from repro.errors import WorkloadError
+from repro.workloads.trace import (
+    TraceRecord, dump_trace, load_trace, replay_trace, synthesize_trace)
+
+
+class TestTraceRecord:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord(0.0, "erase", 0, 0, 1)
+        with pytest.raises(WorkloadError):
+            TraceRecord(-1.0, "read", 0, 0, 1)
+        with pytest.raises(WorkloadError):
+            TraceRecord(0.0, "read", 0, 0, 0)
+
+
+class TestSynthesis:
+    def test_basic_properties(self):
+        records = synthesize_trace(
+            duration_ms=2000.0, requests_per_second=200,
+            target_span_sectors=100_000, seed=1)
+        assert len(records) > 200
+        assert all(0 <= r.time_ms < 2000.0 for r in records)
+        assert all(0 <= r.lba < 100_000 for r in records)
+        writes = sum(1 for r in records if r.op == "write")
+        assert 0.55 < writes / len(records) < 0.85
+
+    def test_seeded(self):
+        a = synthesize_trace(1000, 100, 50_000, seed=3)
+        b = synthesize_trace(1000, 100, 50_000, seed=3)
+        assert a == b
+
+    def test_zipf_skew(self):
+        records = synthesize_trace(
+            duration_ms=5000.0, requests_per_second=400,
+            target_span_sectors=100_000, zipf_alpha=1.2,
+            hot_regions=100, seed=2)
+        region = 100_000 // 100
+        counts = {}
+        for record in records:
+            counts[record.lba // region] = \
+                counts.get(record.lba // region, 0) + 1
+        hottest = max(counts.values())
+        assert hottest > len(records) / 100 * 3  # clearly skewed
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            synthesize_trace(100, 10, 100_000, write_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            synthesize_trace(100, 10, 4)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        records = synthesize_trace(500, 100, 50_000, seed=5)
+        buffer = io.StringIO()
+        count = dump_trace(records, buffer)
+        assert count == len(records)
+        buffer.seek(0)
+        loaded = load_trace(buffer)
+        assert len(loaded) == len(records)
+        for original, parsed in zip(records, loaded):
+            assert parsed.op == original.op
+            assert parsed.lba == original.lba
+            assert abs(parsed.time_ms - original.time_ms) < 0.001
+
+    def test_comments_and_blank_lines(self):
+        text = "# header\n\n1.5 read 0 100 8\n"
+        records = load_trace(io.StringIO(text))
+        assert records == [TraceRecord(1.5, "read", 0, 100, 8)]
+
+    def test_malformed_line(self):
+        with pytest.raises(WorkloadError):
+            load_trace(io.StringIO("1.0 read 0 100\n"))
+        with pytest.raises(WorkloadError):
+            load_trace(io.StringIO("x read 0 100 8\n"))
+
+
+class TestReplay:
+    def test_replay_on_standard(self):
+        system = build_standard_system(
+            data_spec=tiny_test_disk(cylinders=100, heads=4,
+                                     sectors_per_track=32))
+        trace = synthesize_trace(300, 50, 10_000, request_sectors=2,
+                                 seed=7)
+        result = replay_trace(system.sim, system.driver, trace)
+        assert result.requests == len(trace)
+        assert result.makespan_ms >= 300 - 50
+        assert result.writes.count > 0
+
+    def test_replay_on_trail_faster_writes(self):
+        trace = synthesize_trace(400, 80, 10_000, request_sectors=2,
+                                 write_fraction=1.0, seed=9)
+
+        trail_system = build_trail_system(
+            config=TrailConfig(idle_reposition_interval_ms=0),
+            log_spec=tiny_test_disk(cylinders=60),
+            data_spec=tiny_test_disk(cylinders=100, heads=4,
+                                     sectors_per_track=32))
+        trail = replay_trace(trail_system.sim, trail_system.driver,
+                             trace)
+        std_system = build_standard_system(
+            data_spec=tiny_test_disk(cylinders=100, heads=4,
+                                     sectors_per_track=32))
+        std = replay_trace(std_system.sim, std_system.driver, trace)
+        assert trail.writes.mean < std.writes.mean
+
+    def test_empty_trace_rejected(self):
+        system = build_standard_system(data_spec=tiny_test_disk())
+        with pytest.raises(WorkloadError):
+            replay_trace(system.sim, system.driver, [])
+
+    @given(st.integers(0, 1000))
+    def test_synthesis_never_out_of_span(self, seed):
+        records = synthesize_trace(200, 100, 5_000, request_sectors=4,
+                                   hot_regions=16, seed=seed)
+        for record in records:
+            assert record.lba + record.nsectors <= 5_000
