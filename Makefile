@@ -1,0 +1,26 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test bench perf perf-smoke profile
+
+# Tier-1: the full unit/property/integration suite (includes perf-smoke).
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Regenerate every paper table/figure with shape assertions.
+bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/ -s
+
+# Wall-clock engine gate: >= 2x over the checked-in baseline on the
+# microbenchmarks; rewrites BENCH_perf.json at the repo root.
+perf:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest benchmarks/perf -m perf -q -s
+
+# Fast perf sanity (< 30 s, part of tier-1): scenarios run, schema holds.
+perf-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/perf -q
+
+# Usage: make profile SCENARIO=kernel-churn
+SCENARIO ?= kernel-churn
+profile:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro profile $(SCENARIO)

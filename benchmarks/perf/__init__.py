@@ -1,0 +1,1 @@
+"""Wall-clock (engine-speed) benchmarks — see bench_wallclock.py."""

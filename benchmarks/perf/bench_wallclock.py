@@ -1,0 +1,108 @@
+"""Wall-clock perf gate: the engine must stay fast.
+
+Unlike the figure/table benchmarks (which measure *simulated* time),
+this module measures how fast the simulator itself runs.  It times the
+canonical scenarios from :mod:`repro.analysis.perf`, writes the
+current numbers to ``BENCH_perf.json`` at the repo root, and holds the
+two microbenchmarks to a >= 2x ops/sec speedup over the checked-in
+pre-optimization baseline (``benchmarks/perf/BENCH_baseline.json``).
+
+The baseline was captured on the exact scenario bodies that still run
+today (they are frozen — see the perf module docstring), so the ratio
+measures the engine, not benchmark drift.  Each scenario is timed
+best-of-N because wall-clock numbers on a shared machine are noisy in
+one direction only: interference makes runs slower, never faster.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -m perf -q -s
+
+These tests are marked ``perf`` and are excluded from the tier-1 suite
+(``testpaths`` only covers ``tests/``); the quick sanity check that
+*does* run in tier-1 lives in ``tests/perf/test_perf_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.perf import (
+    MICROBENCHMARKS, SCENARIOS, PerfResult, run_scenario, write_report)
+from benchmarks.conftest import print_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
+REPORT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: Required ops/sec ratio over the pre-optimization baseline.
+REQUIRED_SPEEDUP = 2.0
+
+#: Timing repetitions; best-of because noise only ever slows a run down.
+ROUNDS = 3
+
+pytestmark = pytest.mark.perf
+
+
+def best_of(name: str, scale: float = 1.0, rounds: int = ROUNDS) -> PerfResult:
+    """Run ``name`` ``rounds`` times, keep the fastest."""
+    return max((run_scenario(name, scale) for _ in range(rounds)),
+               key=lambda result: result.ops_per_sec)
+
+
+@pytest.fixture(scope="module")
+def baseline() -> dict:
+    return json.loads(BASELINE_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def measured() -> dict:
+    """Best-of-N PerfResult for every scenario, shared across tests."""
+    return {name: best_of(name) for name in SCENARIOS}
+
+
+def test_report_written(measured):
+    """Write BENCH_perf.json at the repo root in the stable schema."""
+    report = {
+        name: {
+            "ops_per_sec": round(result.ops_per_sec, 2),
+            "wall_s": round(result.wall_s, 4),
+        }
+        for name, result in measured.items()
+    }
+    write_report(report, REPORT_PATH)
+    assert len(report) >= 4
+    for row in report.values():
+        assert set(row) == {"ops_per_sec", "wall_s"}
+
+
+@pytest.mark.parametrize("name", MICROBENCHMARKS)
+def test_microbenchmark_speedup(name, measured, baseline):
+    """kernel-churn and sector-churn must hold the >= 2x gate."""
+    result = measured[name]
+    old = baseline[name]["ops_per_sec"]
+    ratio = result.ops_per_sec / old
+    print_report(
+        f"{name}: {result.ops_per_sec:,.0f} ops/s vs baseline "
+        f"{old:,.0f} ops/s -> {ratio:.2f}x (gate: {REQUIRED_SPEEDUP}x)")
+    assert ratio >= REQUIRED_SPEEDUP, (
+        f"{name} regressed below the {REQUIRED_SPEEDUP}x gate: "
+        f"{ratio:.2f}x over baseline")
+
+
+def test_macro_scenarios_no_regression(measured, baseline):
+    """The full-stack scenarios must not be slower than the baseline.
+
+    These don't get a 2x gate — most of their time is workload logic on
+    top of the engine — but an optimization PR must not trade micro
+    wins for macro losses.  5% tolerance absorbs timer noise.
+    """
+    for name in SCENARIOS:
+        if name in MICROBENCHMARKS:
+            continue
+        ratio = measured[name].ops_per_sec / baseline[name]["ops_per_sec"]
+        print_report(f"{name}: {ratio:.2f}x over baseline")
+        assert ratio >= 0.95, (
+            f"{name} slowed down: {ratio:.2f}x over baseline")

@@ -1,0 +1,203 @@
+"""Wall-clock performance scenarios and the ``BENCH_perf.json`` reporter.
+
+Simulated time is free; wall-clock time is what caps how far the
+``--full-scale`` sweeps and the ROADMAP's beyond-paper scaling can go.
+This module defines the canonical scenarios every perf PR is measured
+against and the stable report schema::
+
+    {scenario: {"ops_per_sec": float, "wall_s": float}}
+
+Scenarios (each takes a ``scale`` multiplier; ``ops`` is scenario-
+specific but fixed per scenario so ops/sec comparisons are meaningful):
+
+* ``kernel-churn``   — pure event-kernel churn: timeout yields, event
+  succeed/wait cycles, and condition fan-in, no disk model at all.
+* ``sector-churn``   — :class:`~repro.disk.sectors.SectorStore`
+  write/read/erase mix plus ``written_extents`` scans.
+* ``fig3-sparse``    — the Fig. 3 sparse synchronous-write sweep on
+  the full Trail stack (ST41601N log disk + Caviar data disk).
+* ``tpcc-small``     — a small seeded TPC-C run on Trail.
+
+The scenario bodies are deliberately frozen: the checked-in
+pre-optimization baseline (``benchmarks/perf/BENCH_baseline.json``)
+was captured with exactly this code, so speedup ratios measure the
+engine, not the benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, NamedTuple
+
+#: Scenario name -> callable(scale) -> ops performed.
+SCENARIOS: Dict[str, Callable[[float], int]] = {}
+
+#: Report rows: {scenario: {"ops_per_sec": ..., "wall_s": ...}}.
+BenchReport = Dict[str, Dict[str, float]]
+
+#: The microbenchmarks held to the >= 2x speedup gate.
+MICROBENCHMARKS = ("kernel-churn", "sector-churn")
+
+
+class PerfResult(NamedTuple):
+    """Outcome of one timed scenario run."""
+
+    scenario: str
+    ops: int
+    wall_s: float
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.ops / self.wall_s if self.wall_s > 0 else float("inf")
+
+
+def _scenario(name: str) -> Callable[[Callable[[float], int]],
+                                     Callable[[float], int]]:
+    def register(func: Callable[[float], int]) -> Callable[[float], int]:
+        SCENARIOS[name] = func
+        return func
+    return register
+
+
+# ----------------------------------------------------------------------
+# Scenario bodies (frozen — see module docstring)
+
+
+@_scenario("kernel-churn")
+def kernel_churn(scale: float = 1.0) -> int:
+    """Event-kernel churn: timeouts, succeed/wait cycles, conditions."""
+    from repro.sim import Simulation
+
+    rounds = max(1, int(40_000 * scale))
+    sim = Simulation()
+    ops = 0
+
+    def ticker(count):
+        for _ in range(count):
+            yield sim.timeout(0.01)
+
+    def pingpong(count):
+        for _ in range(count):
+            event = sim.event()
+            event.succeed(None)
+            yield event
+
+    def fanin(count):
+        for _ in range(count):
+            yield sim.all_of([sim.timeout(0.01), sim.timeout(0.02)])
+
+    sim.process(ticker(rounds))
+    sim.process(ticker(rounds))
+    sim.process(pingpong(rounds))
+    sim.process(fanin(rounds))
+    sim.run()
+    # events processed: 2 tickers + 1 pingpong + fanin (2 timeouts + 1
+    # condition) per round, ignoring per-process bookkeeping events.
+    ops = rounds * 6
+    return ops
+
+
+@_scenario("sector-churn")
+def sector_churn(scale: float = 1.0) -> int:
+    """SectorStore write/read/erase mix with extent scans."""
+    from repro.disk.sectors import SectorStore
+    from repro.units import SECTOR_SIZE
+
+    rounds = max(1, int(12_000 * scale))
+    total = 1 << 16
+    store = SectorStore(total)
+    one = bytes(range(256)) * (SECTOR_SIZE // 256)
+    eight = one * 8
+    ops = 0
+    lba = 0
+    for index in range(rounds):
+        lba = (lba * 31 + 97) % (total - 16)
+        store.write(lba, one)            # 1-sector aligned write
+        store.write(lba + 1, eight)      # 8-sector aligned write
+        store.write_sector(lba + 9, one)
+        store.read(lba, 10)              # contiguous read across both
+        store.read_sector(lba + 4)
+        ops += 1 + 8 + 1 + 10 + 1
+        if index % 16 == 0:
+            for _run in store.written_extents():
+                ops += 1
+        if index % 256 == 255:
+            store.erase(0, total)        # large-extent erase
+            ops += 1
+    return ops
+
+
+@_scenario("fig3-sparse")
+def fig3_sparse(scale: float = 1.0) -> int:
+    """Fig. 3 sparse-mode synchronous writes on the full Trail stack."""
+    from repro.analysis.experiments import build_trail_system
+    from repro.workloads import (
+        ArrivalMode, SyncWriteWorkload, run_sync_write_workload)
+
+    requests = max(10, int(150 * scale))
+    system = build_trail_system()
+    workload = SyncWriteWorkload(
+        requests_per_process=requests,
+        write_bytes=1024,
+        mode=ArrivalMode.SPARSE,
+        processes=2,
+        seed=7)
+    run_sync_write_workload(system.sim, system.driver, workload)
+    return requests * 2
+
+
+@_scenario("tpcc-small")
+def tpcc_small(scale: float = 1.0) -> int:
+    """A small seeded TPC-C run on the Trail system."""
+    from repro.tpcc import TpccRunConfig, run_tpcc
+
+    transactions = max(10, int(120 * scale))
+    result = run_tpcc(TpccRunConfig(
+        system="trail", transactions=transactions, concurrency=2, seed=11))
+    return result.transactions_completed
+
+
+# ----------------------------------------------------------------------
+# Runner / reporter
+
+
+def run_scenario(name: str, scale: float = 1.0) -> PerfResult:
+    """Time one named scenario; returns ops, wall seconds, ops/sec."""
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown perf scenario {name!r} (known: {known})")
+    func = SCENARIOS[name]
+    start = time.perf_counter()
+    ops = func(scale)
+    wall = time.perf_counter() - start
+    return PerfResult(scenario=name, ops=ops, wall_s=wall)
+
+
+def run_all(scale: float = 1.0) -> BenchReport:
+    """Run every scenario; returns the ``BENCH_perf.json`` mapping."""
+    report: BenchReport = {}
+    for name in SCENARIOS:
+        result = run_scenario(name, scale)
+        report[name] = {
+            "ops_per_sec": round(result.ops_per_sec, 2),
+            "wall_s": round(result.wall_s, 4),
+        }
+    return report
+
+
+def write_report(report: BenchReport, path: Path) -> None:
+    """Write a report mapping as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def load_report(path: Path) -> BenchReport:
+    """Load a previously written report."""
+    return json.loads(Path(path).read_text())
+
+
+def speedup(new: BenchReport, old: BenchReport, scenario: str) -> float:
+    """ops/sec ratio of ``new`` over ``old`` for ``scenario``."""
+    return (new[scenario]["ops_per_sec"] / old[scenario]["ops_per_sec"])

@@ -4,9 +4,13 @@
     python -m repro tpcc     [--transactions 400] [--concurrency 1]
     python -m repro calibrate
     python -m repro trace    [--duration 2000] [--rate 100] [--device trail]
+    python -m repro profile  <scenario> [--scale 1.0] [--top 20]
 
 Every command builds the paper's simulated testbed, runs the
-experiment, and prints a table.
+experiment, and prints a table.  ``profile`` runs one of the canonical
+perf scenarios (see ``repro.analysis.perf``) under cProfile and prints
+the hottest functions — the workflow behind every optimization in
+docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
@@ -126,6 +130,28 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile a canonical perf scenario (cProfile, sorted by cumulative)."""
+    import cProfile
+    import pstats
+
+    from repro.analysis.perf import SCENARIOS, run_scenario
+
+    if args.scenario not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise SystemExit(
+            f"unknown scenario {args.scenario!r} (known: {known})")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_scenario(args.scenario, args.scale)
+    profiler.disable()
+    print(f"{args.scenario}: {result.ops} ops in {result.wall_s:.3f} s "
+          f"({result.ops_per_sec:,.0f} ops/s, under profiler)")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -162,6 +188,19 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--write-fraction", type=float, default=0.7)
     trace.add_argument("--seed", type=int, default=0)
     trace.set_defaults(func=cmd_trace)
+
+    profile = sub.add_parser("profile", help=cmd_profile.__doc__)
+    profile.add_argument("scenario",
+                         help="perf scenario name (e.g. kernel-churn, "
+                              "sector-churn, fig3-sparse, tpcc-small)")
+    profile.add_argument("--scale", type=float, default=1.0,
+                         help="scenario size multiplier")
+    profile.add_argument("--top", type=int, default=20,
+                         help="number of rows to print")
+    profile.add_argument("--sort", choices=["cumulative", "tottime"],
+                         default="cumulative",
+                         help="stat ordering (default: cumulative)")
+    profile.set_defaults(func=cmd_profile)
     return parser
 
 

@@ -184,11 +184,10 @@ class DiskDrive:
             yield self.sim.timeout(self.command_overhead_ms)
 
             for segment in self._plan_segments(lba, nsectors):
-                cylinder, head = self.geometry.track_location(segment.track)
-                spt = self.geometry.track_sectors(segment.track)
+                cylinder, head, spt, track_start = \
+                    self.geometry.track_info(segment.track)
                 sector_time = self.rotation.sector_time(spt)
-                first_sector = (segment.first_lba
-                                - self.geometry.track_first_lba(segment.track))
+                first_sector = segment.first_lba - track_start
 
                 move = self.seek.reposition_time(
                     self._position_cylinder, self._position_head,
@@ -256,12 +255,11 @@ class DiskDrive:
         segments: List[_Segment] = []
         remaining = nsectors
         current = lba
+        track_extent = self.geometry.track_extent_of_lba
         while remaining > 0:
-            track = self.geometry.track_of_lba(current)
-            track_start = self.geometry.track_first_lba(track)
-            track_size = self.geometry.track_sectors(track)
+            track, track_start, track_size = track_extent(current)
             available = track_start + track_size - current
-            take = min(remaining, available)
+            take = available if available < remaining else remaining
             segments.append(_Segment(track=track, first_lba=current,
                                      nsectors=take))
             current += take

@@ -82,19 +82,30 @@ class DiskGeometry:
         self.zones: Tuple[Zone, ...] = tuple(zones)
         self.sector_size = sector_size
 
-        # Cumulative cylinder counts and LBA offsets at each zone boundary.
+        # Cumulative cylinder counts and LBA offsets at each zone
+        # boundary, plus per-zone constants, precomputed once so the
+        # per-request address math is bisect + arithmetic only.
         self._zone_first_cylinder: List[int] = []
         self._zone_first_lba: List[int] = []
+        self._zone_spt: List[int] = []
+        self._zone_sectors_per_cylinder: List[int] = []
         cylinder = 0
         lba = 0
         for zone in self.zones:
             self._zone_first_cylinder.append(cylinder)
             self._zone_first_lba.append(lba)
+            self._zone_spt.append(zone.sectors_per_track)
+            self._zone_sectors_per_cylinder.append(
+                heads * zone.sectors_per_track)
             cylinder += zone.cylinder_count
             lba += zone.cylinder_count * heads * zone.sectors_per_track
         self.num_cylinders = cylinder
         self.total_sectors = lba
         self.num_tracks = cylinder * heads
+        #: Memoized (cylinder, head, sectors-per-track, first LBA) per
+        #: track index — the drive's per-segment service loop hits the
+        #: same few tracks over and over.
+        self._track_info: dict = {}
 
     # ------------------------------------------------------------------
     # Zone lookups
@@ -106,7 +117,10 @@ class DiskGeometry:
 
     def sectors_per_track(self, cylinder: int) -> int:
         """SPT of every track on ``cylinder`` (zone-dependent)."""
-        return self.zones[self.zone_of_cylinder(cylinder)].sectors_per_track
+        if not 0 <= cylinder < self.num_cylinders:
+            self._check_cylinder(cylinder)
+        return self._zone_spt[
+            bisect.bisect_right(self._zone_first_cylinder, cylinder) - 1]
 
     # ------------------------------------------------------------------
     # Track numbering
@@ -124,36 +138,66 @@ class DiskGeometry:
 
     def track_sectors(self, track: int) -> int:
         """Number of sectors on ``track``."""
-        cylinder, _head = self.track_location(track)
-        return self.sectors_per_track(cylinder)
+        return self.track_info(track)[2]
 
     def track_first_lba(self, track: int) -> int:
         """LBA of sector 0 of ``track``."""
-        cylinder, head = self.track_location(track)
-        zone_index = self.zone_of_cylinder(cylinder)
-        zone = self.zones[zone_index]
-        cylinders_into_zone = cylinder - self._zone_first_cylinder[zone_index]
-        return (self._zone_first_lba[zone_index]
-                + cylinders_into_zone * self.heads * zone.sectors_per_track
-                + head * zone.sectors_per_track)
+        return self.track_info(track)[3]
+
+    def track_info(self, track: int) -> Tuple[int, int, int, int]:
+        """(cylinder, head, sectors-per-track, first LBA) of ``track``.
+
+        Memoized: the geometry is immutable, and the drive service loop
+        asks about the same track for every sector it transfers.
+        """
+        info = self._track_info.get(track)
+        if info is None:
+            if not 0 <= track < self.num_tracks:
+                self._check_track(track)
+            cylinder, head = divmod(track, self.heads)
+            zone_index = bisect.bisect_right(
+                self._zone_first_cylinder, cylinder) - 1
+            spt = self._zone_spt[zone_index]
+            first_lba = (self._zone_first_lba[zone_index]
+                         + (cylinder - self._zone_first_cylinder[zone_index])
+                         * self._zone_sectors_per_cylinder[zone_index]
+                         + head * spt)
+            info = (cylinder, head, spt, first_lba)
+            self._track_info[track] = info
+        return info
 
     def track_of_lba(self, lba: int) -> int:
         """Track index containing ``lba``."""
-        cylinder, head, _sector = self.lba_to_chs(lba)
-        return self.track_of(cylinder, head)
+        return self.track_extent_of_lba(lba)[0]
+
+    def track_extent_of_lba(self, lba: int) -> Tuple[int, int, int]:
+        """(track, track's first LBA, sectors on track) containing ``lba``.
+
+        One zone lookup instead of the three an LBA->CHS->track chain
+        would cost; used by the drive's segment planner.
+        """
+        if not 0 <= lba < self.total_sectors:
+            self._check_lba(lba)
+        zone_index = bisect.bisect_right(self._zone_first_lba, lba) - 1
+        spt = self._zone_spt[zone_index]
+        zone_first_lba = self._zone_first_lba[zone_index]
+        tracks_into_zone, sector = divmod(lba - zone_first_lba, spt)
+        first_cylinder = self._zone_first_cylinder[zone_index]
+        track = first_cylinder * self.heads + tracks_into_zone
+        return track, lba - sector, spt
 
     # ------------------------------------------------------------------
     # LBA <-> CHS
 
     def lba_to_chs(self, lba: int) -> CHS:
         """Convert a logical block address to its physical location."""
-        self._check_lba(lba)
+        if not 0 <= lba < self.total_sectors:
+            self._check_lba(lba)
         zone_index = bisect.bisect_right(self._zone_first_lba, lba) - 1
-        zone = self.zones[zone_index]
         offset = lba - self._zone_first_lba[zone_index]
-        sectors_per_cylinder = self.heads * zone.sectors_per_track
-        cylinders_into_zone, remainder = divmod(offset, sectors_per_cylinder)
-        head, sector = divmod(remainder, zone.sectors_per_track)
+        cylinders_into_zone, remainder = divmod(
+            offset, self._zone_sectors_per_cylinder[zone_index])
+        head, sector = divmod(remainder, self._zone_spt[zone_index])
         return CHS(self._zone_first_cylinder[zone_index] + cylinders_into_zone,
                    head, sector)
 

@@ -57,6 +57,10 @@ class SeekModel:
         self.full_stroke_ms = full_stroke_ms
         self.head_switch_ms = head_switch_ms
         self._fit_curve()
+        #: Memoized seek times by cylinder distance: the fitted curve is
+        #: a pure function of distance and a workload revisits the same
+        #: few distances (track-to-track, repositioning hops) constantly.
+        self._seek_cache: dict = {}
 
     def _fit_curve(self) -> None:
         """Solve t(d) = a + b*sqrt(d) + c*d through the three known points.
@@ -100,14 +104,21 @@ class SeekModel:
 
     def seek_time(self, from_cylinder: int, to_cylinder: int) -> float:
         """Arm travel time between two cylinders (0 if they are equal)."""
-        distance = abs(to_cylinder - from_cylinder)
+        distance = to_cylinder - from_cylinder
         if distance == 0:
             return 0.0
-        time = self._a + self._b * math.sqrt(distance) + self._c * distance
-        # The fitted curve can dip slightly below the track-to-track time
-        # for very short seeks if the datasheet points are unusual; the
-        # physical floor is the track-to-track time.
-        return max(time, self.track_to_track_ms)
+        if distance < 0:
+            distance = -distance
+        time = self._seek_cache.get(distance)
+        if time is None:
+            time = self._a + self._b * math.sqrt(distance) + self._c * distance
+            # The fitted curve can dip slightly below the track-to-track
+            # time for very short seeks if the datasheet points are
+            # unusual; the physical floor is the track-to-track time.
+            if time < self.track_to_track_ms:
+                time = self.track_to_track_ms
+            self._seek_cache[distance] = time
+        return time
 
     def reposition_time(
         self, from_cylinder: int, from_head: int,
@@ -143,6 +154,10 @@ class RotationModel:
         self.rpm = rpm
         self.rotation_ms = rpm_to_rotation_ms(rpm)
         self._phase_drift = phase_drift
+        #: Memoized per-SPT sector times: the per-request service path
+        #: recomputes this constant on every transfer otherwise.  (Kept
+        #: as the original division so results stay bit-identical.)
+        self._sector_time_cache: dict = {}
 
     @property
     def average_rotational_latency_ms(self) -> float:
@@ -158,10 +173,14 @@ class RotationModel:
 
     def sector_time(self, sectors_per_track: int) -> float:
         """Time for one sector to pass under the head on this track."""
-        if sectors_per_track < 1:
-            raise GeometryError(
-                f"sectors_per_track must be >= 1, got {sectors_per_track}")
-        return self.rotation_ms / sectors_per_track
+        time = self._sector_time_cache.get(sectors_per_track)
+        if time is None:
+            if sectors_per_track < 1:
+                raise GeometryError(
+                    f"sectors_per_track must be >= 1, got {sectors_per_track}")
+            time = self.rotation_ms / sectors_per_track
+            self._sector_time_cache[sectors_per_track] = time
+        return time
 
     def sector_under_head(self, time_ms: float, sectors_per_track: int) -> int:
         """Index of the sector whose angular span covers the head now."""
@@ -180,7 +199,11 @@ class RotationModel:
         if not 0 <= sector < sectors_per_track:
             raise GeometryError(
                 f"sector {sector} out of range [0, {sectors_per_track})")
-        current_angle = self.angle_at(time_ms)
+        if self._phase_drift is None:
+            # Inline of angle_at's drift-free branch (bit-identical math).
+            current_angle = (time_ms / self.rotation_ms) % 1.0
+        else:
+            current_angle = self.angle_at(time_ms)
         target_angle = sector / sectors_per_track
         delta = (target_angle - current_angle) % 1.0
         if delta >= 1.0:

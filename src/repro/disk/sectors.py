@@ -8,12 +8,22 @@ of the disk content to zero" (§4.1).
 
 ``snapshot``/``restore`` let crash tests capture persistent state at an
 arbitrary instant and rewind to it, modelling a power failure that
-loses everything except what reached the platter.
+loses everything except what reached the platter.  Snapshots are
+copy-on-write: taking one is O(1) — the sector map is shared until the
+next mutation, which first privatizes it.  Treat a returned snapshot
+as opaque/read-only.
+
+Hot-path notes (see docs/PERFORMANCE.md): sector values are immutable
+``bytes``, so aligned writes slice straight from the caller's buffer
+with no intermediate padded copy, single-sector extents skip the slice
+loop entirely, bounds checks are a single inline comparison with the
+error construction pushed to a cold helper, and ``written_extents`` is
+computed once and cached until the next mutation.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import AddressError
 from repro.units import SECTOR_SIZE
@@ -22,6 +32,9 @@ from repro.units import SECTOR_SIZE
 class SectorStore:
     """A sparse map from LBA to immutable sector contents."""
 
+    __slots__ = ("total_sectors", "sector_size", "_zero", "_sectors",
+                 "_shared", "_extent_cache")
+
     def __init__(self, total_sectors: int, sector_size: int = SECTOR_SIZE) -> None:
         if total_sectors < 1:
             raise AddressError(f"total_sectors must be >= 1, got {total_sectors}")
@@ -29,6 +42,9 @@ class SectorStore:
         self.sector_size = sector_size
         self._zero = bytes(sector_size)
         self._sectors: Dict[int, bytes] = {}
+        #: True while ``_sectors`` is shared with a snapshot (copy-on-write).
+        self._shared = False
+        self._extent_cache: Optional[List[Tuple[int, int]]] = None
 
     def __len__(self) -> int:
         """Number of sectors that have ever been written."""
@@ -36,75 +52,140 @@ class SectorStore:
 
     def write_sector(self, lba: int, data: bytes) -> None:
         """Store one sector of exactly ``sector_size`` bytes at ``lba``."""
-        self._check_lba(lba)
+        if lba < 0 or lba >= self.total_sectors:
+            self._check_lba(lba)
         if len(data) != self.sector_size:
             raise AddressError(
                 f"sector write must be exactly {self.sector_size} bytes, "
                 f"got {len(data)}")
+        if self._shared:
+            self._privatize()
+        self._extent_cache = None
         self._sectors[lba] = bytes(data)
 
     def read_sector(self, lba: int) -> bytes:
         """Read one sector; unwritten sectors are all-zeros."""
-        self._check_lba(lba)
+        if lba < 0 or lba >= self.total_sectors:
+            self._check_lba(lba)
         return self._sectors.get(lba, self._zero)
 
     def write(self, lba: int, data: bytes) -> None:
         """Store a multi-sector extent; ``data`` is padded to whole sectors."""
         if not data:
             raise AddressError("cannot write an empty extent")
-        nsectors = (len(data) + self.sector_size - 1) // self.sector_size
-        self._check_extent(lba, nsectors)
-        padded = data + bytes(nsectors * self.sector_size - len(data))
+        size = self.sector_size
+        length = len(data)
+        nsectors = (length + size - 1) // size
+        if lba < 0 or nsectors < 1 or lba + nsectors > self.total_sectors:
+            self._check_extent(lba, nsectors)
+        if self._shared:
+            self._privatize()
+        self._extent_cache = None
+        sectors = self._sectors
+        if type(data) is not bytes:
+            data = bytes(data)
+        if nsectors == 1:
+            sectors[lba] = data if length == size else data + bytes(size - length)
+            return
+        if length != nsectors * size:
+            data = data + bytes(nsectors * size - length)
+        # Slicing immutable bytes yields the per-sector values directly;
+        # no intermediate padded buffer, no bytes() re-wrap.
+        start = 0
         for index in range(nsectors):
-            start = index * self.sector_size
-            self._sectors[lba + index] = bytes(
-                padded[start:start + self.sector_size])
+            sectors[lba + index] = data[start:start + size]
+            start += size
 
     def read(self, lba: int, nsectors: int) -> bytes:
         """Read ``nsectors`` contiguous sectors starting at ``lba``."""
-        self._check_extent(lba, nsectors)
-        return b"".join(
-            self._sectors.get(lba + index, self._zero)
-            for index in range(nsectors))
+        if lba < 0 or nsectors < 1 or lba + nsectors > self.total_sectors:
+            self._check_extent(lba, nsectors)
+        sectors = self._sectors
+        if nsectors == 1:
+            return sectors.get(lba, self._zero)
+        if not sectors:
+            return self._zero * nsectors
+        get = sectors.get
+        zero = self._zero
+        return b"".join([get(lba + index, zero) for index in range(nsectors)])
 
     def is_written(self, lba: int) -> bool:
         """True if ``lba`` has been written since format/clear."""
-        self._check_lba(lba)
+        if lba < 0 or lba >= self.total_sectors:
+            self._check_lba(lba)
         return lba in self._sectors
 
     def clear(self) -> None:
         """Reset every sector to zeros (re-format)."""
-        self._sectors.clear()
+        if self._shared:
+            # The old map lives on in a snapshot; start a fresh one.
+            self._sectors = {}
+            self._shared = False
+        else:
+            self._sectors.clear()
+        self._extent_cache = None
 
     def erase(self, lba: int, nsectors: int) -> None:
         """Zero an extent (used when Trail's format tool wipes the log)."""
-        self._check_extent(lba, nsectors)
-        for index in range(nsectors):
-            self._sectors.pop(lba + index, None)
+        if lba < 0 or nsectors < 1 or lba + nsectors > self.total_sectors:
+            self._check_extent(lba, nsectors)
+        end = lba + nsectors
+        if lba == 0 and end >= self.total_sectors:
+            self.clear()
+            return
+        if self._shared:
+            self._privatize()
+        self._extent_cache = None
+        sectors = self._sectors
+        if nsectors > len(sectors):
+            # Large extent over a sparse map: walk the written keys once
+            # instead of probing every LBA in the range.
+            for key in [key for key in sectors if lba <= key < end]:
+                del sectors[key]
+        else:
+            pop = sectors.pop
+            for address in range(lba, end):
+                pop(address, None)
 
     def snapshot(self) -> Dict[int, bytes]:
-        """Copy of the persistent state (cheap: sector bytes are immutable)."""
-        return dict(self._sectors)
+        """O(1) copy-on-write view of the persistent state (read-only)."""
+        self._shared = True
+        return self._sectors
 
     def restore(self, snapshot: Dict[int, bytes]) -> None:
         """Rewind the store to a previously captured snapshot."""
-        self._sectors = dict(snapshot)
+        self._sectors = snapshot
+        self._shared = True
+        self._extent_cache = None
 
     def written_extents(self) -> Iterator[Tuple[int, int]]:
-        """Yield maximal (start_lba, nsectors) runs of written sectors."""
-        run_start = None
-        previous = None
-        for lba in sorted(self._sectors):
-            if run_start is None:
-                run_start = lba
-            elif lba != previous + 1:
-                yield run_start, previous - run_start + 1
-                run_start = lba
-            previous = lba
-        if run_start is not None:
-            yield run_start, previous - run_start + 1
+        """Yield maximal (start_lba, nsectors) runs of written sectors.
+
+        The run list is cached and reused until the next mutation.
+        """
+        cache = self._extent_cache
+        if cache is None:
+            cache = []
+            run_start = None
+            previous = None
+            for lba in sorted(self._sectors):
+                if run_start is None:
+                    run_start = lba
+                elif lba != previous + 1:
+                    cache.append((run_start, previous - run_start + 1))
+                    run_start = lba
+                previous = lba
+            if run_start is not None:
+                cache.append((run_start, previous - run_start + 1))
+            self._extent_cache = cache
+        return iter(cache)
 
     # ------------------------------------------------------------------
+
+    def _privatize(self) -> None:
+        """Detach from a shared snapshot before the first mutation."""
+        self._sectors = dict(self._sectors)
+        self._shared = False
 
     def _check_lba(self, lba: int) -> None:
         if not 0 <= lba < self.total_sectors:

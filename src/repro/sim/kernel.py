@@ -1,9 +1,9 @@
 """The discrete-event simulation kernel.
 
-:class:`Simulation` owns the simulated clock and the pending-event heap.
-Time is in milliseconds (``float``).  Events scheduled for the same
-instant fire in scheduling order, which makes every run deterministic —
-a property the recovery and batching tests rely on.
+:class:`Simulation` owns the simulated clock and the pending-event
+queues.  Time is in milliseconds (``float``).  Events scheduled for the
+same instant fire in scheduling order, which makes every run
+deterministic — a property the recovery and batching tests rely on.
 
 Typical use::
 
@@ -16,16 +16,40 @@ Typical use::
 
     sim.process(writer(sim, disk))
     sim.run()
+
+Scheduling internals (see docs/PERFORMANCE.md): pending events live in
+two structures that together form one logical priority queue keyed by
+``(time, sequence)``:
+
+* ``_heap``  — a binary heap of *delayed* events (``delay > 0``);
+* ``_ready`` — a plain FIFO of *immediate* events (``succeed``/``fail``
+  and zero-delay timeouts).  Because simulated time never decreases and
+  sequence numbers only grow, appends arrive already sorted by
+  ``(time, sequence)``, so a deque replaces O(log n) heap traffic for
+  the most common event class.
+
+The dispatch loop pops whichever head is globally smallest, which
+reproduces exactly the ordering of a single shared heap.  The loop in
+:meth:`run` is the hottest code in the whole reproduction — every
+simulated I/O passes through it several times — so queue heads and
+``heappop`` are bound to locals and per-event callback dispatch is
+inlined.  :meth:`_step` is the single-step equivalent used by
+:meth:`run_until`; both produce identical event ordering (the seeded
+TPC-C trace test pins this down).
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, List, Optional, Sequence, Tuple
+from collections import deque
+from heapq import heappop, heappush
+from typing import Any, Deque, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
-from repro.sim.events import Event, Timeout, Condition, all_of, any_of
+from repro.sim.events import Event, Timeout, Condition, all_of, any_of, _PENDING
 from repro.sim.process import Process, ProcessGenerator
+
+_new_timeout = Timeout.__new__
+_new_event = Event.__new__
 
 
 class Simulation:
@@ -34,8 +58,13 @@ class Simulation:
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[Tuple[float, int, Event]] = []
+        self._ready: Deque[Tuple[float, int, Event]] = deque()
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        #: When not ``None``, every dispatched event appends its
+        #: ``(time, sequence)`` pair here — the determinism tests use
+        #: this to prove optimizations preserve event ordering.
+        self._trace: Optional[List[Tuple[float, int]]] = None
 
     @property
     def now(self) -> float:
@@ -48,15 +77,61 @@ class Simulation:
         return self._active_process
 
     # ------------------------------------------------------------------
+    # Event-order tracing
+
+    def enable_trace(self) -> List[Tuple[float, int]]:
+        """Record ``(time, sequence)`` of every dispatched event.
+
+        Must be called before :meth:`run`; returns the live trace list.
+        """
+        if self._trace is None:
+            self._trace = []
+        return self._trace
+
+    @property
+    def trace(self) -> Optional[List[Tuple[float, int]]]:
+        """The recorded event-order trace, or None if tracing is off."""
+        return self._trace
+
+    # ------------------------------------------------------------------
     # Factories
 
     def event(self) -> Event:
         """Create a new untriggered event bound to this simulation."""
-        return Event(self)
+        # Inlined Event.__init__ (see docs/PERFORMANCE.md): skipping the
+        # constructor frame is measurable at event-churn rates.
+        event = _new_event(Event)
+        event.sim = self
+        event._cb1 = None
+        event._callbacks = None
+        event._processed = False
+        event._value = _PENDING
+        event._exception = None
+        event._triggered = False
+        event._defused = False
+        return event
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` ms from now with ``value``."""
-        return Timeout(self, delay, value)
+        if delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {delay}")
+        # Inlined Timeout.__init__ — identical semantics, one less frame.
+        timeout = _new_timeout(Timeout)
+        timeout.sim = self
+        timeout._cb1 = None
+        timeout._callbacks = None
+        timeout._processed = False
+        timeout._value = value
+        timeout._exception = None
+        timeout._triggered = True
+        timeout._defused = False
+        timeout.delay = delay
+        self._sequence = sequence = self._sequence + 1
+        if delay:
+            heappush(self._heap, (self._now + delay, sequence, timeout))
+        else:
+            self._ready.append((self._now, sequence, timeout))
+        return timeout
 
     def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
         """Start a new process driving ``generator``."""
@@ -74,7 +149,7 @@ class Simulation:
     # Execution
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or the clock reaches ``until``.
+        """Run until the queues drain or the clock reaches ``until``.
 
         Returns the simulation time at which execution stopped.  An
         unhandled process failure propagates out of this call.
@@ -82,47 +157,128 @@ class Simulation:
         if until is not None and until < self._now:
             raise SimulationError(
                 f"run(until={until}) is in the past (now={self._now})")
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
-                self._now = until
-                return self._now
-            self._step()
-        if until is not None:
-            self._now = until
-        return self._now
+        heap = self._heap
+        ready = self._ready
+        pop = heappop
+        popleft = ready.popleft
+        trace = self._trace
+        if until is None:
+            # Drain-to-empty variant: no deadline comparisons in the loop.
+            while True:
+                # Pop the globally smallest (time, sequence) of both queues.
+                if ready:
+                    if heap and heap[0] < ready[0]:
+                        when, sequence, event = pop(heap)
+                    else:
+                        when, sequence, event = popleft()
+                elif heap:
+                    when, sequence, event = pop(heap)
+                else:
+                    break
+                self._now = when
+                if trace is not None:
+                    trace.append((when, sequence))
+                # Inlined Event._run_callbacks: detach-then-invoke so a
+                # callback registered mid-dispatch runs immediately.
+                event._processed = True
+                callback = event._cb1
+                if callback is not None:
+                    event._cb1 = None
+                    more = event._callbacks
+                    if more is None:
+                        callback(event)
+                    else:
+                        event._callbacks = None
+                        callback(event)
+                        for callback in more:
+                            callback(event)
+                if event._exception is not None and not event._defused:
+                    raise event._exception
+            return self._now
+        while True:
+            # Pop the globally smallest (time, sequence) of both queues.
+            if ready:
+                if heap and heap[0] < ready[0]:
+                    if heap[0][0] > until:
+                        self._now = until
+                        return until
+                    when, sequence, event = pop(heap)
+                else:
+                    if ready[0][0] > until:
+                        self._now = until
+                        return until
+                    when, sequence, event = popleft()
+            elif heap:
+                if heap[0][0] > until:
+                    self._now = until
+                    return until
+                when, sequence, event = pop(heap)
+            else:
+                break
+            self._now = when
+            if trace is not None:
+                trace.append((when, sequence))
+            event._processed = True
+            callback = event._cb1
+            if callback is not None:
+                event._cb1 = None
+                more = event._callbacks
+                if more is None:
+                    callback(event)
+                else:
+                    event._callbacks = None
+                    callback(event)
+                    for callback in more:
+                        callback(event)
+            if event._exception is not None and not event._defused:
+                raise event._exception
+        self._now = until
+        return until
 
     def peek(self) -> Optional[float]:
-        """Time of the next scheduled event, or None if the heap is empty."""
-        return self._heap[0][0] if self._heap else None
+        """Time of the next scheduled event, or None if queues are empty."""
+        if self._ready:
+            if self._heap and self._heap[0] < self._ready[0]:
+                return self._heap[0][0]
+            return self._ready[0][0]
+        if self._heap:
+            return self._heap[0][0]
+        return None
 
     def run_until(self, event: Event) -> Any:
         """Run until ``event`` has fired; returns its value.
 
         Unlike :meth:`run`, this terminates even when perpetual
         background processes (write-back loops, idle repositioners)
-        keep the event heap non-empty.
+        keep the event queues non-empty.
         """
-        while not event.processed:
-            if not self._heap:
+        while not event._processed:
+            if not self._heap and not self._ready:
                 raise SimulationError(
                     "event cannot fire: the event heap is empty")
             self._step()
         return event.value
 
     def _step(self) -> None:
-        when, _seq, event = heapq.heappop(self._heap)
-        assert when >= self._now, "event scheduled in the past"
+        ready = self._ready
+        heap = self._heap
+        if ready and not (heap and heap[0] < ready[0]):
+            when, sequence, event = ready.popleft()
+        else:
+            when, sequence, event = heappop(heap)
         self._now = when
+        if self._trace is not None:
+            self._trace.append((when, sequence))
         event._run_callbacks()
-        if not event.ok and not event._defused:
-            exc = event.exception
-            assert exc is not None
-            raise exc
+        if event._exception is not None and not event._defused:
+            raise event._exception
 
     # ------------------------------------------------------------------
     # Internal API used by events
 
     def _schedule_event(self, event: Event, delay: float) -> None:
-        self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        self._sequence = sequence = self._sequence + 1
+        if delay:
+            heappush(self._heap, (self._now + delay, sequence, event))
+        else:
+            self._ready.append((self._now, sequence, event))

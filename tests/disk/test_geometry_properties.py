@@ -1,0 +1,95 @@
+"""Property tests: zoned LBA <-> CHS mapping is a bijection.
+
+The geometry module replaced per-call zone scans with precomputed
+prefix arrays, bisect lookups, and a per-track memo.  These tests
+check the algebra those fast paths must preserve, against a reference
+mapping that walks the zone table linearly: every LBA maps to exactly
+one (cylinder, head, sector) and back, track bookkeeping is consistent
+with the address math, and the whole LBA space is covered exactly once.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.disk.geometry import DiskGeometry, Zone
+
+
+def _reference_lba_to_chs(geometry: DiskGeometry, lba: int):
+    """Naive linear zone walk — the spec the bisect fast path must match."""
+    remaining = lba
+    cylinder = 0
+    for zone in geometry.zones:
+        zone_sectors = zone.cylinder_count * geometry.heads * zone.sectors_per_track
+        if remaining < zone_sectors:
+            per_cylinder = geometry.heads * zone.sectors_per_track
+            cylinder += remaining // per_cylinder
+            remainder = remaining % per_cylinder
+            return (cylinder, remainder // zone.sectors_per_track,
+                    remainder % zone.sectors_per_track)
+        remaining -= zone_sectors
+        cylinder += zone.cylinder_count
+    raise AssertionError(f"LBA {lba} beyond reference geometry")
+
+
+geometries = st.builds(
+    DiskGeometry,
+    heads=st.integers(1, 8),
+    zones=st.lists(
+        st.builds(Zone,
+                  cylinder_count=st.integers(1, 20),
+                  sectors_per_track=st.integers(1, 50)),
+        min_size=1, max_size=5),
+    sector_size=st.just(512))
+
+
+@settings(max_examples=200, deadline=None)
+@given(geometry=geometries, data=st.data())
+def test_lba_chs_round_trip_matches_reference(geometry, data):
+    lba = data.draw(st.integers(0, geometry.total_sectors - 1))
+    chs = geometry.lba_to_chs(lba)
+    assert tuple(chs) == _reference_lba_to_chs(geometry, lba)
+    assert geometry.chs_to_lba(chs.cylinder, chs.head, chs.sector) == lba
+
+
+@settings(max_examples=100, deadline=None)
+@given(geometry=geometries, data=st.data())
+def test_track_extent_consistent_with_chs(geometry, data):
+    lba = data.draw(st.integers(0, geometry.total_sectors - 1))
+    track, track_start, track_size = geometry.track_extent_of_lba(lba)
+    chs = geometry.lba_to_chs(lba)
+    assert track == geometry.track_of(chs.cylinder, chs.head)
+    assert track_size == geometry.sectors_per_track(chs.cylinder)
+    assert track_start == geometry.track_first_lba(track)
+    assert track_start <= lba < track_start + track_size
+    cylinder, head, spt, first_lba = geometry.track_info(track)
+    assert (cylinder, head) == (chs.cylinder, chs.head)
+    assert (spt, first_lba) == (track_size, track_start)
+
+
+@settings(max_examples=50, deadline=None)
+@given(geometry=geometries)
+def test_tracks_tile_lba_space_exactly(geometry):
+    """Track extents partition [0, total_sectors) with no gap or overlap."""
+    expected_start = 0
+    for track in range(geometry.num_tracks):
+        assert geometry.track_first_lba(track) == expected_start
+        expected_start += geometry.track_sectors(track)
+    assert expected_start == geometry.total_sectors
+
+
+def test_full_bijection_on_small_zoned_disk():
+    """Exhaustive check on a 3-zone disk: every LBA is hit exactly once."""
+    geometry = DiskGeometry(
+        heads=3,
+        zones=[Zone(4, 30), Zone(3, 20), Zone(5, 10)])
+    seen = set()
+    for cylinder in range(geometry.num_cylinders):
+        for head in range(geometry.heads):
+            for sector in range(geometry.sectors_per_track(cylinder)):
+                lba = geometry.chs_to_lba(cylinder, head, sector)
+                assert tuple(geometry.lba_to_chs(lba)) == (
+                    cylinder, head, sector)
+                seen.add(lba)
+    assert seen == set(range(geometry.total_sectors))

@@ -1,0 +1,161 @@
+"""Property tests: the optimized SectorStore vs a naive reference.
+
+``SectorStore`` grew several fast paths (aligned-write slicing, bulk
+erase strategies, copy-on-write snapshots, cached extent runs).  These
+tests pin its observable behaviour to a deliberately simple reference
+implementation that keeps one big mutable byte array — the version you
+would write if speed didn't matter — under randomized operation
+sequences.  Any divergence is a bug in the fast paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.disk.sectors import SectorStore
+
+SECTOR = 64
+TOTAL = 128
+
+
+class NaiveStore:
+    """Reference model: one flat bytearray, no sparse tricks."""
+
+    def __init__(self, total_sectors: int, sector_size: int) -> None:
+        self.total_sectors = total_sectors
+        self.sector_size = sector_size
+        self._data = bytearray(total_sectors * sector_size)
+        self._written = [False] * total_sectors
+
+    def write(self, lba: int, data: bytes) -> None:
+        size = self.sector_size
+        nsectors = max(1, -(-len(data) // size))
+        padded = bytes(data) + bytes(nsectors * size - len(data))
+        self._data[lba * size:(lba + nsectors) * size] = padded
+        for index in range(lba, lba + nsectors):
+            self._written[index] = True
+
+    def read(self, lba: int, nsectors: int) -> bytes:
+        size = self.sector_size
+        return bytes(self._data[lba * size:(lba + nsectors) * size])
+
+    def erase(self, lba: int, nsectors: int) -> None:
+        size = self.sector_size
+        self._data[lba * size:(lba + nsectors) * size] = bytes(
+            nsectors * size)
+        for index in range(lba, lba + nsectors):
+            self._written[index] = False
+
+    def written_extents(self):
+        start = None
+        for index, written in enumerate(self._written):
+            if written and start is None:
+                start = index
+            elif not written and start is not None:
+                yield (start, index - start)
+                start = None
+        if start is not None:
+            yield (start, self.total_sectors - start)
+
+
+def _payload(seed: int, length: int) -> bytes:
+    return bytes((seed * 7 + index * 13) % 256 for index in range(length))
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"),
+                  st.integers(0, TOTAL - 1),
+                  st.integers(1, 5 * SECTOR),
+                  st.integers(0, 255)),
+        st.tuples(st.just("read"),
+                  st.integers(0, TOTAL - 1),
+                  st.integers(1, 8),
+                  st.just(0)),
+        st.tuples(st.just("erase"),
+                  st.integers(0, TOTAL - 1),
+                  st.integers(1, TOTAL),
+                  st.just(0)),
+    ),
+    min_size=1, max_size=40)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=operations)
+def test_store_matches_naive_reference(ops):
+    """Random write/read/erase sequences agree with the flat-array model."""
+    fast = SectorStore(TOTAL, SECTOR)
+    naive = NaiveStore(TOTAL, SECTOR)
+    for op, lba, amount, seed in ops:
+        if op == "write":
+            length = min(amount, (TOTAL - lba) * SECTOR)
+            if length == 0:
+                continue
+            data = _payload(seed, length)
+            fast.write(lba, data)
+            naive.write(lba, data)
+        elif op == "read":
+            nsectors = min(amount, TOTAL - lba)
+            assert fast.read(lba, nsectors) == naive.read(lba, nsectors)
+        else:
+            nsectors = min(amount, TOTAL - lba)
+            fast.erase(lba, nsectors)
+            naive.erase(lba, nsectors)
+    assert fast.read(0, TOTAL) == naive.read(0, TOTAL)
+    assert list(fast.written_extents()) == list(naive.written_extents())
+
+
+@settings(max_examples=100, deadline=None)
+@given(lba=st.integers(0, TOTAL - 1),
+       length=st.integers(1, 4 * SECTOR),
+       seed=st.integers(0, 255))
+def test_write_read_round_trip(lba, length, seed):
+    """What you write is what you read back, zero-padded to sectors."""
+    store = SectorStore(TOTAL, SECTOR)
+    length = min(length, (TOTAL - lba) * SECTOR)
+    data = _payload(seed, length)
+    store.write(lba, data)
+    nsectors = max(1, -(-length // SECTOR))
+    assert store.read(lba, nsectors) == (
+        data + bytes(nsectors * SECTOR - length))
+
+
+@settings(max_examples=100, deadline=None)
+@given(lba=st.integers(0, TOTAL - 1), nsectors=st.integers(1, TOTAL))
+def test_unwritten_reads_are_zero_filled(lba, nsectors):
+    """Reads of never-written sectors return zeros of the right length."""
+    store = SectorStore(TOTAL, SECTOR)
+    nsectors = min(nsectors, TOTAL - lba)
+    assert store.read(lba, nsectors) == bytes(nsectors * SECTOR)
+
+
+def test_snapshot_isolated_from_later_writes():
+    """COW snapshots are frozen: later writes don't leak into them."""
+    store = SectorStore(TOTAL, SECTOR)
+    store.write(3, _payload(1, SECTOR))
+    snap = store.snapshot()
+    before = dict(snap)
+    store.write(3, _payload(2, SECTOR))
+    store.write(4, _payload(3, SECTOR))
+    store.erase(0, TOTAL)
+    assert dict(snap) == before
+    store.restore(snap)
+    assert store.read_sector(3) == _payload(1, SECTOR)
+    assert store.read_sector(4) == bytes(SECTOR)
+
+
+def test_extent_cache_invalidated_by_each_mutator():
+    """written_extents stays correct across every mutation path."""
+    store = SectorStore(TOTAL, SECTOR)
+    store.write(2, bytes(SECTOR))
+    assert list(store.written_extents()) == [(2, 1)]
+    assert list(store.written_extents()) == [(2, 1)]  # cached hit
+    store.write_sector(4, bytes(SECTOR))
+    assert list(store.written_extents()) == [(2, 1), (4, 1)]
+    store.write(3, bytes(SECTOR))
+    assert list(store.written_extents()) == [(2, 3)]
+    store.erase(3, 1)
+    assert list(store.written_extents()) == [(2, 1), (4, 1)]
+    store.clear()
+    assert list(store.written_extents()) == []

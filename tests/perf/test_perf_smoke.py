@@ -1,0 +1,69 @@
+"""Tier-1 perf smoke: the scenarios and reporter work, quickly.
+
+The real wall-clock gate (>= 2x over the checked-in baseline) lives in
+``benchmarks/perf/bench_wallclock.py`` and is excluded from tier-1 by
+``testpaths``.  This module is the fast stand-in that *does* run on
+every tier-1 invocation: every canonical scenario executes end-to-end
+at a tiny scale, the report schema stays stable, and the committed
+``BENCH_perf.json`` / baseline files stay well-formed.  Total budget:
+a couple of seconds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.perf import (
+    MICROBENCHMARKS, SCENARIOS, load_report, run_all, run_scenario,
+    speedup, write_report)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: Small enough that the whole module stays far under the 30 s budget.
+SMOKE_SCALE = 0.02
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_runs_at_smoke_scale(name):
+    result = run_scenario(name, SMOKE_SCALE)
+    assert result.scenario == name
+    assert result.ops > 0
+    assert result.wall_s >= 0
+    assert result.ops_per_sec > 0
+
+
+def test_run_all_report_schema(tmp_path):
+    report = run_all(SMOKE_SCALE)
+    assert set(report) == set(SCENARIOS)
+    assert len(report) >= 4
+    for row in report.values():
+        assert set(row) == {"ops_per_sec", "wall_s"}
+        assert row["ops_per_sec"] > 0
+    path = tmp_path / "BENCH_perf.json"
+    write_report(report, path)
+    assert load_report(path) == json.loads(path.read_text())
+
+
+def test_speedup_helper():
+    old = {"kernel-churn": {"ops_per_sec": 100.0, "wall_s": 1.0}}
+    new = {"kernel-churn": {"ops_per_sec": 250.0, "wall_s": 0.4}}
+    assert speedup(new, old, "kernel-churn") == pytest.approx(2.5)
+
+
+def test_unknown_scenario_is_rejected():
+    with pytest.raises(KeyError, match="unknown perf scenario"):
+        run_scenario("no-such-scenario")
+
+
+def test_committed_reports_are_well_formed():
+    """The checked-in baseline and BENCH_perf.json match the schema."""
+    for path in (REPO_ROOT / "benchmarks" / "perf" / "BENCH_baseline.json",
+                 REPO_ROOT / "BENCH_perf.json"):
+        report = load_report(path)
+        assert set(report) >= set(MICROBENCHMARKS)
+        assert len(report) >= 4
+        for row in report.values():
+            assert set(row) == {"ops_per_sec", "wall_s"}
