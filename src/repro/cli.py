@@ -5,6 +5,7 @@
     python -m repro calibrate
     python -m repro trace    [--duration 2000] [--rate 100] [--device trail]
     python -m repro profile  <scenario> [--scale 1.0] [--top 20]
+    python -m repro faults   <scenario> [--seed 0]
 
 Every command builds the paper's simulated testbed, runs the
 experiment, and prints a table.  ``profile`` runs one of the canonical
@@ -152,6 +153,52 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Run a fault-injection scenario and print the damage report."""
+    # Imported lazily: scenarios pulls in the whole Trail stack.
+    from repro.faults.scenarios import SCENARIOS, run_fault_scenario
+
+    if args.scenario not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise SystemExit(
+            f"unknown fault scenario {args.scenario!r} (known: {known})")
+    result = run_fault_scenario(args.scenario, seed=args.seed)
+    print(f"{result.name}: {result.description}")
+    for note in result.notes:
+        print(f"  - {note}")
+    print()
+    print(render_table(
+        ["drive", "transient errs", "retries", "read errs",
+         "write errs", "remapped", "spikes"],
+        result.drive_rows,
+        title=f"drive error counters (seed {args.seed})"))
+    if result.injector_rows:
+        print()
+        print(render_table(
+            ["drive", "bad sectors", "grown", "corrupted", "remapped",
+             "spares left"],
+            result.injector_rows,
+            title="injector audit trail"))
+    print()
+    print(render_table(["metric", "value"], result.driver_rows,
+                       title="Trail driver"))
+    if result.recovery is not None:
+        report = result.recovery
+        print()
+        print(render_table(
+            ["metric", "value"],
+            [["records found", report.records_found],
+             ["sectors replayed", report.sectors_replayed],
+             ["torn records dropped", report.torn_records_dropped],
+             ["corrupt records", report.corrupt_records],
+             ["unreadable sectors", report.unreadable_sectors],
+             ["prev_sect chain broken",
+              "yes" if report.chain_broken else "no"],
+             ["sectors dropped", len(report.dropped_sectors)]],
+            title="recovery report"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -201,6 +248,15 @@ def build_parser() -> argparse.ArgumentParser:
                          default="cumulative",
                          help="stat ordering (default: cumulative)")
     profile.set_defaults(func=cmd_profile)
+
+    faults = sub.add_parser("faults", help=cmd_faults.__doc__)
+    faults.add_argument("scenario",
+                        help="fault scenario name (flaky-data-disk, "
+                             "dying-log-disk, corrupt-log-crash, "
+                             "latency-spikes)")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="fault-plan seed (same seed, same faults)")
+    faults.set_defaults(func=cmd_faults)
     return parser
 
 

@@ -74,6 +74,21 @@ class TrailConfig:
     #: Queue priority separation: data-disk reads ahead of write-backs.
     reads_preempt_writebacks: bool = True
 
+    #: Bounded retry attempts the write-back scheduler makes when a
+    #: data-disk write fails with a media error, with exponential
+    #: backoff between attempts.
+    writeback_retry_limit: int = 4
+
+    #: Backoff before the first write-back retry; doubles per attempt.
+    writeback_retry_base_ms: float = 1.0
+
+    #: Degrade gracefully when the log disk dies: flip to synchronous
+    #: write-through to the data disks (the paper notes Trail
+    #: "degenerates to a standard disk") instead of failing every
+    #: subsequent write.  Disabling makes a log-disk media failure
+    #: propagate to the caller, for ablation.
+    degraded_mode_enabled: bool = True
+
     def __post_init__(self) -> None:
         if not 0.0 < self.track_utilization_threshold <= 1.0:
             raise ValueError(
@@ -92,3 +107,7 @@ class TrailConfig:
             raise ValueError("header_replicas must be >= 0")
         if self.delta_slack_sectors < 0:
             raise ValueError("delta_slack_sectors must be >= 0")
+        if self.writeback_retry_limit < 0:
+            raise ValueError("writeback_retry_limit must be >= 0")
+        if self.writeback_retry_base_ms < 0:
+            raise ValueError("writeback_retry_base_ms must be >= 0")

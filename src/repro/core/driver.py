@@ -34,7 +34,8 @@ from repro.disk.controller import PRIORITY_READ
 from repro.disk.drive import DiskDrive
 from repro.disk.geometry import DiskGeometry
 from repro.errors import (
-    DiskHaltedError, LogDiskFullError, NotATrailDiskError, TrailError)
+    DiskHaltedError, LogDiskFullError, MediaError, NotATrailDiskError,
+    TrailError)
 from repro.sim import (
     Event, Interrupt, LatencyRecorder, Process, Simulation, Store)
 
@@ -54,6 +55,12 @@ class TrailStats:
     reads_from_buffer: int = 0
     reads_from_disk: int = 0
     log_full_stalls: int = 0
+    #: Unrecoverable media errors on the log disk (drive-level retries
+    #: and spare remapping already exhausted).
+    log_media_errors: int = 0
+    #: Writes acknowledged via the degraded synchronous write-through
+    #: path after the log disk was abandoned.
+    degraded_writes: int = 0
 
     @property
     def logging_io_ms(self) -> float:
@@ -134,7 +141,10 @@ class TrailDriver(BlockDevice):
         self.buffers = BufferManager(self._on_record_released)
         self.writeback = WritebackScheduler(
             sim, self.data_disks, self.buffers,
-            reads_preempt_writebacks=self.config.reads_preempt_writebacks)
+            reads_preempt_writebacks=self.config.reads_preempt_writebacks,
+            retry_limit=self.config.writeback_retry_limit,
+            retry_base_ms=self.config.writeback_retry_base_ms)
+        self.writeback.on_idle = self._on_writeback_idle
         self.last_recovery: Optional[RecoveryReport] = None
 
         self._header_lbas: List[int] = []
@@ -150,6 +160,12 @@ class TrailDriver(BlockDevice):
         self._track_freed: Optional[Event] = None
         self._last_activity = 0.0
         self._writer_busy = False
+        self._degraded = False
+        #: Events armed by flush() waiting for the pipeline to drain.
+        self._flush_waiters: List[Event] = []
+        #: Events armed by the degraded-mode transition waiting for the
+        #: write-back scheduler alone to go quiescent.
+        self._writeback_waiters: List[Event] = []
         self._mounted = False
         self._writer_process: Optional[Process] = None
         self._repositioner_process: Optional[Process] = None
@@ -326,18 +342,65 @@ class TrailDriver(BlockDevice):
                 data[dst:dst + sector_size] = page.data[src:src + sector_size]
         return bytes(data)
 
+    @property
+    def degraded(self) -> bool:
+        """True once the log disk has been abandoned and every write
+        goes synchronously to its data disk (write-through mode)."""
+        return self._degraded
+
     def flush(self) -> Generator:
-        """Wait until every acknowledged write reached its data disk."""
+        """Wait until every acknowledged write reached its data disk.
+
+        Event-driven: each waiter parks on an event that the log writer
+        and the write-back scheduler fire when they go idle, instead of
+        polling the pipeline state on a timer.
+        """
         self._check_mounted()
-        while (len(self._log_queue) > 0 or self._writer_busy
-               or not self.writeback.quiescent):
-            yield self.sim.timeout(1.0)
+        while not self._is_quiet():
+            event = self.sim.event()
+            self._flush_waiters.append(event)
+            yield event
+
+    def _is_quiet(self) -> bool:
+        """Nothing queued, being written, or awaiting write-back."""
+        return (len(self._log_queue) == 0 and not self._writer_busy
+                and self.writeback.quiescent)
+
+    def _notify_idle(self) -> None:
+        """Wake flush() waiters if the whole pipeline has drained."""
+        if not self._flush_waiters or not self._is_quiet():
+            return
+        waiters, self._flush_waiters = self._flush_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    def _on_writeback_idle(self) -> None:
+        """The write-back scheduler went quiescent."""
+        if self._writeback_waiters:
+            waiters, self._writeback_waiters = self._writeback_waiters, []
+            for event in waiters:
+                if not event.triggered:
+                    event.succeed()
+        self._notify_idle()
 
     def clean_shutdown(self) -> Generator:
-        """Flush everything and mark the log disk clean (§3.3)."""
+        """Flush everything and mark the log disk clean (§3.3).
+
+        The clean marker is withheld when the log disk is degraded (it
+        may be unwritable, and is already marked clean if the
+        transition managed it) or when parked write-back failures mean
+        the log still holds the only copy of some sectors — leaving
+        ``crash_var == 0`` forces the next mount through recovery,
+        which replays or reports them instead of silently discarding.
+        """
         yield from self.flush()
         self._stop_background()
-        yield from self._write_headers(crash_var=1)
+        if not self._degraded and not self.writeback.failed_pages:
+            try:
+                yield from self._write_headers(crash_var=1)
+            except MediaError:
+                self.stats.log_media_errors += 1
         self._mounted = False
 
     def crash(self) -> None:
@@ -356,6 +419,11 @@ class TrailDriver(BlockDevice):
                 request.event.defuse()
         self._unacked.clear()
         self.buffers.drop_all()
+        for event in self._flush_waiters + self._writeback_waiters:
+            if not event.triggered:
+                event.succeed()
+        self._flush_waiters.clear()
+        self._writeback_waiters.clear()
         self.log_drive.halt()
         for disk in self.data_disks.values():
             disk.halt()
@@ -380,11 +448,16 @@ class TrailDriver(BlockDevice):
                 if self.config.batching_enabled:
                     pending.extend(self._log_queue.drain())
                 while pending:
-                    yield from self._write_record(pending)
+                    if self._degraded:
+                        yield from self._write_through(list(pending))
+                        pending.clear()
+                    else:
+                        yield from self._write_record(pending)
                     if self.config.batching_enabled:
                         pending.extend(self._log_queue.drain())
                 self._writer_busy = False
                 self._last_activity = self.sim.now
+                self._notify_idle()
         except Interrupt:
             self._writer_busy = False
             return
@@ -422,8 +495,9 @@ class TrailDriver(BlockDevice):
             yield from self._write_record_spans(spans, pending)
             return
         header_lba = self.allocator.commit_placement(start_sector, 1 + total)
-        yield from self._emit_record(header_lba, track, spans, total)
-        yield from self._after_record(pending)
+        yield from self._emit_record(header_lba, track, spans, total, pending)
+        if not self._degraded:
+            yield from self._after_record(pending)
 
     def _write_record_spans(
         self,
@@ -441,8 +515,9 @@ class TrailDriver(BlockDevice):
                 f"record of {1 + total} sectors does not fit an empty "
                 f"track of {self.geometry.track_sectors(track)}")
         header_lba = self.allocator.commit_placement(start_sector, 1 + total)
-        yield from self._emit_record(header_lba, track, spans, total)
-        yield from self._after_record(pending)
+        yield from self._emit_record(header_lba, track, spans, total, pending)
+        if not self._degraded:
+            yield from self._after_record(pending)
 
     def _after_record(self, pending: Deque[_PendingWrite]) -> Generator:
         """Post-record track maintenance (§4.2's interrupt handler).
@@ -465,6 +540,7 @@ class TrailDriver(BlockDevice):
         track: int,
         spans: List[Tuple[_PendingWrite, int, int]],
         total: int,
+        pending: Deque[_PendingWrite],
     ) -> Generator:
         sector_size = self.sector_size
         sequence = self._next_sequence
@@ -499,7 +575,13 @@ class TrailDriver(BlockDevice):
             entries=tuple(entries))
         blob = b"".join(encode_record(header, payload_sectors, sector_size))
 
-        result = yield self.log_drive.write(header_lba, blob)
+        try:
+            result = yield self.log_drive.write(header_lba, blob)
+        except MediaError as exc:
+            self._live_records.pop(sequence, None)
+            self.stats.log_media_errors += 1
+            yield from self._log_write_failed(exc, spans, pending)
+            return
 
         self._last_record_lba = header_lba
         self._physical_track = track
@@ -521,6 +603,87 @@ class TrailDriver(BlockDevice):
                 latency = self.sim.now - request.arrival
                 self.stats.sync_writes.record(latency)
                 self._unacked.pop(id(request), None)
+                request.event.succeed(latency)
+
+    # ------------------------------------------------------------------
+    # Degraded mode (log-disk failure)
+
+    def _log_write_failed(
+        self,
+        exc: MediaError,
+        spans: List[Tuple[_PendingWrite, int, int]],
+        pending: Deque[_PendingWrite],
+    ) -> Generator:
+        """A log write exhausted the drive's retries and spares.
+
+        With degraded mode enabled the driver abandons the log disk and
+        "degenerates to a standard disk": it drains the write-back
+        backlog, marks the log clean so stale records are never
+        replayed over newer write-through data, and services the failed
+        record's requests (and everything after them) synchronously.
+        With it disabled the affected requests fail with the media
+        error and logging continues on the remaining tracks.
+        """
+        requests: List[_PendingWrite] = []
+        for request, _offset, _count in spans:
+            if request not in requests:
+                requests.append(request)
+        for request in requests:
+            if request in pending:
+                pending.remove(request)
+
+        if not self.config.degraded_mode_enabled:
+            for request in requests:
+                self._unacked.pop(id(request), None)
+                if not request.event.triggered:
+                    request.event.fail(exc)
+                    request.event.defuse()
+            return
+
+        yield from self._enter_degraded()
+        yield from self._write_through(requests)
+
+    def _enter_degraded(self) -> Generator:
+        """Flip to synchronous write-through mode.
+
+        Order matters for crash safety: first let the write-back
+        scheduler finish committing every page logged *before* the
+        failure (their records match the data disks, so replay would be
+        idempotent), only then mark the log clean, and only after that
+        may write-through acknowledgements proceed — otherwise a crash
+        could replay pre-failure records over newer write-through data.
+        """
+        self._degraded = True
+        while not self.writeback.quiescent:
+            event = self.sim.event()
+            self._writeback_waiters.append(event)
+            yield event
+        if not self.writeback.failed_pages:
+            # Parked write-back failures keep their only durable copy
+            # on the log disk; in that double-failure case the log must
+            # stay dirty so the next mount reports them.
+            try:
+                yield from self._write_headers(crash_var=1)
+            except MediaError:
+                self.stats.log_media_errors += 1
+
+    def _write_through(self, requests: List[_PendingWrite]) -> Generator:
+        """Service requests synchronously against their data disks."""
+        for request in requests:
+            disk = self._data_disk(request.disk_id)
+            try:
+                yield disk.write(request.lba, request.data)
+            except MediaError as failure:
+                self._unacked.pop(id(request), None)
+                if not request.event.triggered:
+                    request.event.fail(failure)
+                    request.event.defuse()
+                continue
+            self.stats.degraded_writes += 1
+            latency = self.sim.now - request.arrival
+            self.stats.sync_writes.record(latency)
+            self._unacked.pop(id(request), None)
+            if not request.event.triggered:
                 request.event.succeed(latency)
 
     # ------------------------------------------------------------------
@@ -548,12 +711,20 @@ class TrailDriver(BlockDevice):
                 yield self._track_freed
 
     def _reposition_read(self) -> Generator:
-        """Park the head on the new track with an explicit read (§4.2)."""
+        """Park the head on the new track with an explicit read (§4.2).
+
+        A media error here is swallowed: repositioning is purely a
+        latency optimization, so a bad anchor sector only costs
+        prediction accuracy, never correctness.
+        """
         track = self.allocator.current_track
         target_sector = self.predictor.predict_sector(
             self.sim.now + self._pending_move_ms(track), track)
         target_lba = self.geometry.track_first_lba(track) + target_sector
-        yield self.log_drive.read(target_lba, 1)
+        try:
+            yield self.log_drive.read(target_lba, 1)
+        except MediaError:
+            return
         self._physical_track = track
         self.predictor.set_reference(self.sim.now, target_lba)
         self.stats.repositions += 1
@@ -563,7 +734,12 @@ class TrailDriver(BlockDevice):
         """Initial anchor: read one sector of the current track."""
         track = self.allocator.current_track
         anchor_lba = self.geometry.track_first_lba(track)
-        yield self.log_drive.read(anchor_lba, 1)
+        try:
+            yield self.log_drive.read(anchor_lba, 1)
+        except MediaError:
+            # Unreadable anchor: seed the reference without the read;
+            # the first real write re-anchors it precisely.
+            pass
         self._physical_track = track
         self.predictor.set_reference(self.sim.now, anchor_lba)
 
@@ -589,7 +765,10 @@ class TrailDriver(BlockDevice):
                     self.sim.now + self._pending_move_ms(track), track)
                 target_lba = (self.geometry.track_first_lba(track)
                               + target_sector)
-                yield self.log_drive.read(target_lba, 1)
+                try:
+                    yield self.log_drive.read(target_lba, 1)
+                except MediaError:
+                    continue
                 self._physical_track = track
                 self.predictor.set_reference(self.sim.now, target_lba)
                 self.stats.repositions += 1

@@ -44,14 +44,24 @@ NULL_LBA = 0xFFFFFFFF
 _SIG_LEN = len(TRAIL_SIGNATURE)
 
 # first_byte, signature, epoch, sequence_id, prev_sect, log_head,
-# payload_crc, batch_size.  The CRC covers the *masked* payload sectors
-# exactly as they lie on the platter: a crash can tear a record (header
-# sector persisted, payload sectors not — only ever the youngest record,
-# because log writes are strictly sequential), and recovery must detect
-# and discard such a record rather than replay garbage.  The paper's
-# format predates this concern; the CRC is the one extension we add.
-_FIXED_FMT = f"<B{_SIG_LEN}sIIIIIH"
+# payload_crc, header_crc, batch_size.  Two CRCs extend the paper's
+# format (which assumes the only failure is power loss):
+#
+# * ``payload_crc`` covers the *masked* payload sectors exactly as they
+#   lie on the platter: a crash can tear a record (header sector
+#   persisted, payload sectors not — only ever the youngest record,
+#   because log writes are strictly sequential), and recovery must
+#   detect and discard such a record rather than replay garbage.
+# * ``header_crc`` covers the header sector itself (with this field
+#   zeroed), so a silent bit flip anywhere in the header — a batch
+#   entry's target LBA, the back pointer, the displaced first byte —
+#   turns the sector into a non-record instead of redirecting replay
+#   to the wrong address.
+_FIXED_FMT = f"<B{_SIG_LEN}sIIIIIIH"
 _FIXED_SIZE = struct.calcsize(_FIXED_FMT)
+#: Byte offset of ``header_crc`` within the header sector (the fields
+#: before it: first_byte, signature, and five 4-byte integers).
+_HEADER_CRC_OFFSET = struct.calcsize(f"<B{_SIG_LEN}sIIIII")
 
 # first_data_byte, log_lba, data_lba, data_major, data_minor
 _ENTRY_FMT = "<BIIBB"
@@ -60,8 +70,9 @@ _ENTRY_SIZE = struct.calcsize(_ENTRY_FMT)
 assert _FIXED_SIZE + MAX_TRAIL_BATCH * _ENTRY_SIZE <= SECTOR_SIZE, (
     "record header must fit one sector")
 
-# signature, magic, epoch, crash_var
-_DISK_HEADER_FMT = f"<{_SIG_LEN}sIIi"
+# signature, magic, epoch, crash_var, crc32 of the preceding fields
+_DISK_HEADER_FMT = f"<{_SIG_LEN}sIIiI"
+_DISK_HEADER_BODY_FMT = f"<{_SIG_LEN}sIIi"
 _DISK_HEADER_MAGIC = 0x7452_0001  # 'tR' + format version 1
 
 # heads, sector_size, zone_count then per zone: cylinder_count, spt
@@ -104,6 +115,9 @@ class RecordHeader:
     #: CRC-32 of the masked payload sectors as written (torn-record
     #: detection; filled in by :func:`encode_record`).
     payload_crc: int = 0
+    #: CRC-32 of the header sector with this field zeroed (silent
+    #: header-corruption detection; filled in by :func:`encode_record`).
+    header_crc: int = 0
 
     @property
     def batch_size(self) -> int:
@@ -158,12 +172,14 @@ def encode_record(
     packed = bytearray(struct.pack(
         _FIXED_FMT, HEADER_FIRST_BYTE, TRAIL_SIGNATURE, header.epoch,
         header.sequence_id, header.prev_sect, header.log_head,
-        crc, len(header.entries)))
+        crc, 0, len(header.entries)))
     for entry in header.entries:
         packed += struct.pack(
             _ENTRY_FMT, entry.first_data_byte, entry.log_lba,
             entry.data_lba, entry.data_major, entry.data_minor)
     packed += bytes(sector_size - len(packed))
+    struct.pack_into("<I", packed, _HEADER_CRC_OFFSET,
+                     zlib.crc32(packed))
     return [bytes(packed)] + masked
 
 
@@ -189,12 +205,18 @@ def decode_record_header(
     if len(sector) < _FIXED_SIZE:
         raise LogFormatError(f"sector too short: {len(sector)} bytes")
     (first_byte, signature, epoch, sequence_id, prev_sect, log_head,
-     payload_crc, batch_size) = struct.unpack_from(_FIXED_FMT, sector)
+     payload_crc, header_crc, batch_size) = struct.unpack_from(
+        _FIXED_FMT, sector)
     if first_byte != HEADER_FIRST_BYTE:
         raise LogFormatError(
             f"not a record header: first byte {first_byte:#04x}")
     if signature != TRAIL_SIGNATURE:
         raise LogFormatError(f"bad record signature: {signature!r}")
+    zeroed = bytearray(sector)
+    zeroed[_HEADER_CRC_OFFSET:_HEADER_CRC_OFFSET + 4] = b"\x00\x00\x00\x00"
+    if zlib.crc32(zeroed) != header_crc:
+        raise LogFormatError(
+            f"record header checksum mismatch (sequence {sequence_id})")
     if batch_size > MAX_TRAIL_BATCH:
         raise LogFormatError(f"batch_size {batch_size} exceeds maximum")
     if expected_epoch is not None and epoch != expected_epoch:
@@ -215,7 +237,8 @@ def decode_record_header(
             data_major=major, data_minor=minor))
     return RecordHeader(epoch=epoch, sequence_id=sequence_id,
                         prev_sect=prev_sect, log_head=log_head,
-                        entries=tuple(entries), payload_crc=payload_crc)
+                        entries=tuple(entries), payload_crc=payload_crc,
+                        header_crc=header_crc)
 
 
 def is_record_header(sector: bytes, expected_epoch: Optional[int] = None) -> bool:
@@ -246,22 +269,31 @@ def encode_disk_header(
     header: LogDiskHeader, sector_size: int = SECTOR_SIZE,
 ) -> bytes:
     """Serialize the global log-disk header into one sector."""
-    packed = struct.pack(_DISK_HEADER_FMT, TRAIL_SIGNATURE,
-                         _DISK_HEADER_MAGIC, header.epoch, header.crash_var)
+    body = struct.pack(_DISK_HEADER_BODY_FMT, TRAIL_SIGNATURE,
+                       _DISK_HEADER_MAGIC, header.epoch, header.crash_var)
+    packed = body + struct.pack("<I", zlib.crc32(body))
     return packed + bytes(sector_size - len(packed))
 
 
 def decode_disk_header(sector: bytes) -> LogDiskHeader:
-    """Parse the global log-disk header; raises if not a Trail disk."""
+    """Parse the global log-disk header; raises if not a Trail disk.
+
+    The trailing CRC32 turns a flipped bit in ``epoch`` or
+    ``crash_var`` — which would otherwise silently skip recovery or
+    scan the wrong epoch — into a loud :class:`LogFormatError`.
+    """
     if len(sector) < struct.calcsize(_DISK_HEADER_FMT):
         raise LogFormatError("disk-header sector too short")
-    signature, magic, epoch, crash_var = struct.unpack_from(
+    signature, magic, epoch, crash_var, stored_crc = struct.unpack_from(
         _DISK_HEADER_FMT, sector)
     if signature != TRAIL_SIGNATURE:
         raise LogFormatError(
             f"disk signature {signature!r} is not a Trail log disk")
     if magic != _DISK_HEADER_MAGIC:
         raise LogFormatError(f"unknown format version magic {magic:#x}")
+    body_size = struct.calcsize(_DISK_HEADER_BODY_FMT)
+    if stored_crc != zlib.crc32(sector[:body_size]):
+        raise LogFormatError("disk-header checksum mismatch")
     return LogDiskHeader(epoch=epoch, crash_var=crash_var)
 
 

@@ -20,6 +20,16 @@ breakdown can be reproduced:
    compromise integrity because the log-disk copy persists (Fig. 4(b)),
    and it dominates recovery time because its data-disk accesses are
    random.
+
+Beyond the paper's power-loss-only model, recovery also survives a
+faulty log disk: track scans fall back to sector-by-sector reads and
+skip unreadable sectors; every record is checksum-verified (header and
+payload CRCs) before replay; a record that fails verification is never
+replayed — its sectors are reported in the
+:class:`RecoveryReport` (``corrupt_records``, ``dropped_sectors``)
+instead of silently replaying garbage or silently dropping data.  A
+double failure (host memory lost in the crash *and* the log copy
+unreadable or corrupt) is therefore always visible to the caller.
 """
 
 from __future__ import annotations
@@ -33,7 +43,7 @@ from repro.core.format import (
     restore_payload)
 from repro.disk.drive import DiskDrive
 from repro.disk.geometry import DiskGeometry
-from repro.errors import LogFormatError, RecoveryError
+from repro.errors import LogFormatError, MediaError, RecoveryError
 from repro.sim import Simulation
 
 
@@ -59,12 +69,35 @@ class RecoveryReport:
     writeback_performed: bool = False
     #: Youngest records discarded because the crash tore them (header
     #: on the platter, payload incomplete).  A torn record was never
-    #: acknowledged, so dropping it loses nothing.
+    #: acknowledged, so dropping it loses nothing — unless silent
+    #: corruption mimicked a tear, which is why the affected sectors
+    #: also appear in :attr:`dropped_sectors`.
     torn_records_dropped: int = 0
     youngest_sequence: Optional[int] = None
     #: The pending chain, oldest first (exposed so a caller that skips
     #: the write-back step can hand the records to a background process).
     pending: List[LocatedRecord] = field(default_factory=list)
+    #: Log-disk sectors that could not be read (skipped during scans).
+    unreadable_sectors: int = 0
+    #: Pending records that failed checksum verification or could not
+    #: be read during replay (excludes the legal torn youngest).
+    corrupt_records: int = 0
+    #: ``(disk_id, data_lba)`` pairs whose logged copy was dropped
+    #: without being replayed (torn, corrupt, or unreadable record, or
+    #: a failed data-disk write) and that no intact later record
+    #: superseded.  Each is either already on its data disk from an
+    #: earlier write-back or genuinely lost — never silently dropped.
+    dropped_sectors: List[Tuple[int, int]] = field(default_factory=list)
+    #: True when the prev_sect chain walk hit an unreadable or
+    #: non-decodable sector before reaching the log_head bound: records
+    #: older than the break could not be enumerated.
+    chain_broken: bool = False
+
+    @property
+    def damaged(self) -> bool:
+        """True when recovery detected any unrecoverable damage."""
+        return bool(self.corrupt_records or self.dropped_sectors
+                    or self.chain_broken)
 
     @property
     def total_ms(self) -> float:
@@ -104,6 +137,7 @@ class RecoveryManager:
         youngest = yield from self._discard_torn(youngest)
         report.locate_ms = self.sim.now - start
         if youngest is None:
+            report.dropped_sectors = sorted(set(report.dropped_sectors))
             return report
         report.youngest_sequence = youngest.header.sequence_id
 
@@ -118,6 +152,7 @@ class RecoveryManager:
             yield from self.replay(chain)
             report.writeback_ms = self.sim.now - writeback_start
             report.writeback_performed = True
+        report.dropped_sectors = sorted(set(report.dropped_sectors))
         return report
 
     # ------------------------------------------------------------------
@@ -171,18 +206,38 @@ class RecoveryManager:
         return (yield from self._scan_position(low))
 
     def _scan_position(self, position: int) -> Generator:
-        """Read one track and return its youngest current-epoch record."""
+        """Read one track and return its youngest current-epoch record.
+
+        A track read that fails with a media error falls back to
+        sector-by-sector reads, skipping (and counting) unreadable
+        sectors, so one grown defect cannot hide a whole track's
+        records from the locate step.
+        """
         track = self.usable_tracks[position]
         if track in self._track_cache:
             return self._track_cache[track]
         first_lba = self.geometry.track_first_lba(track)
         nsectors = self.geometry.track_sectors(track)
-        result = yield self.log_drive.read(first_lba, nsectors)
-        self._report.tracks_scanned += 1
         sector_size = self.geometry.sector_size
+        sectors: List[Optional[bytes]] = []
+        try:
+            result = yield self.log_drive.read(first_lba, nsectors)
+            sectors = [result.data[index * sector_size:
+                                   (index + 1) * sector_size]
+                       for index in range(nsectors)]
+        except MediaError:
+            for index in range(nsectors):
+                try:
+                    result = yield self.log_drive.read(first_lba + index, 1)
+                    sectors.append(result.data)
+                except MediaError:
+                    sectors.append(None)
+                    self._report.unreadable_sectors += 1
+        self._report.tracks_scanned += 1
         youngest: Optional[LocatedRecord] = None
-        for index in range(nsectors):
-            raw = result.data[index * sector_size:(index + 1) * sector_size]
+        for index, raw in enumerate(sectors):
+            if raw is None:
+                continue
             try:
                 header = decode_record_header(raw, expected_epoch=self.epoch)
             except LogFormatError:
@@ -207,19 +262,36 @@ class RecoveryManager:
             header = located.header
             if header.batch_size == 0:
                 return located
-            result = yield self.log_drive.read(located.header_lba + 1,
-                                               header.batch_size)
             sector_size = self.geometry.sector_size
-            masked = [result.data[index * sector_size:
-                                  (index + 1) * sector_size]
-                      for index in range(header.batch_size)]
-            if payload_crc32(masked) == header.payload_crc:
+            intact = False
+            try:
+                result = yield self.log_drive.read(located.header_lba + 1,
+                                                   header.batch_size)
+                masked = [result.data[index * sector_size:
+                                      (index + 1) * sector_size]
+                          for index in range(header.batch_size)]
+                intact = payload_crc32(masked) == header.payload_crc
+            except MediaError:
+                # Payload unreadable: indistinguishable from a tear.
+                self._report.unreadable_sectors += 1
+            if intact:
                 return located
             self._report.torn_records_dropped += 1
+            # A legal tear was never acknowledged; but corruption of an
+            # acknowledged record looks identical, so the dropped
+            # sectors are reported rather than silently discarded.
+            for entry in header.entries:
+                self._report.dropped_sectors.append(
+                    (entry.data_major, entry.data_lba))
             prev_lba = header.prev_sect
             if prev_lba == NULL_LBA:
                 return None
-            result = yield self.log_drive.read(prev_lba, 1)
+            try:
+                result = yield self.log_drive.read(prev_lba, 1)
+            except MediaError:
+                self._report.unreadable_sectors += 1
+                self._report.chain_broken = True
+                return None
             try:
                 prev_header = decode_record_header(
                     result.data, expected_epoch=self.epoch)
@@ -248,14 +320,32 @@ class RecoveryManager:
             if prev_lba in seen:
                 raise RecoveryError(
                     f"prev_sect cycle detected at LBA {prev_lba}")
-            result = yield self.log_drive.read(prev_lba, 1)
+            try:
+                result = yield self.log_drive.read(prev_lba, 1)
+            except MediaError:
+                # An unreadable header inside the pending chain: the
+                # records older than the break cannot be enumerated.
+                # Flag it — recovery proceeds with what it has, but the
+                # caller must know the chain is incomplete.
+                self._report.unreadable_sectors += 1
+                self._report.chain_broken = True
+                break
             try:
                 header = decode_record_header(
                     result.data, expected_epoch=self.epoch)
             except LogFormatError:
-                # The chain ran into a sector overwritten by an older
-                # epoch or reclaimed space: everything older is already
-                # committed.
+                # With the log_head bound enabled, every hop between
+                # the youngest record and the bound is a live record
+                # whose space cannot have been reclaimed — a decode
+                # failure before the bound means the header was
+                # corrupted, not legitimately overwritten.
+                if (self.config.log_head_bound_enabled
+                        and bound != NULL_LBA):
+                    self._report.corrupt_records += 1
+                    self._report.chain_broken = True
+                # Otherwise the chain ran into a sector overwritten by
+                # an older epoch or reclaimed space: everything older
+                # is already committed.
                 break
             if header.sequence_id >= current.header.sequence_id:
                 raise RecoveryError(
@@ -276,28 +366,49 @@ class RecoveryManager:
 
         Public so that a caller who deferred the write-back step
         (Fig. 4(b)) can run it in the background after recovery returns.
+
+        A record whose payload is unreadable or fails its checksum is
+        *never* replayed — garbage must not reach the data disks — and
+        is reported instead: ``corrupt_records`` counts it, and every
+        affected sector that no intact later record supersedes lands in
+        ``dropped_sectors``.  Data-disk writes that fail despite the
+        drive's own retries/remapping are reported the same way.
         """
         sector_size = self.geometry.sector_size
+        #: (disk_id, data_lba) -> sequence id of the newest record that
+        #: successfully replayed that sector.
+        replayed: Dict[Tuple[int, int], int] = {}
+        #: (sequence id, disk_id, data_lba) of sectors not replayed.
+        at_risk: List[Tuple[int, int, int]] = []
         for located in sorted(chain, key=lambda r: r.header.sequence_id):
             header = located.header
             if header.batch_size == 0:
                 continue
-            payload = yield self.log_drive.read(
-                located.header_lba + 1, header.batch_size)
-            masked = [payload.data[index * sector_size:
-                                   (index + 1) * sector_size]
-                      for index in range(header.batch_size)]
-            if payload_crc32(masked) != header.payload_crc:
-                # Only the youngest record can legally be torn, and
-                # _discard_torn already handled it.
-                raise RecoveryError(
-                    f"record {header.sequence_id} payload is corrupt")
+            sequence = header.sequence_id
+            masked: Optional[List[bytes]] = None
+            try:
+                payload = yield self.log_drive.read(
+                    located.header_lba + 1, header.batch_size)
+                masked = [payload.data[index * sector_size:
+                                       (index + 1) * sector_size]
+                          for index in range(header.batch_size)]
+            except MediaError:
+                self._report.unreadable_sectors += 1
+            if masked is None or payload_crc32(masked) != header.payload_crc:
+                # Unreadable, or silently corrupted on the platter
+                # (only the youngest record can legally be torn, and
+                # _discard_torn already handled it).
+                self._report.corrupt_records += 1
+                for entry in header.entries:
+                    at_risk.append((sequence, entry.data_major,
+                                    entry.data_lba))
+                continue
             restored: List[bytes] = []
             for index, entry in enumerate(header.entries):
                 raw = masked[index]
                 if entry.log_lba != located.header_lba + 1 + index:
                     raise RecoveryError(
-                        f"record {header.sequence_id} entry {index} log "
+                        f"record {sequence} entry {index} log "
                         f"LBA {entry.log_lba} is not contiguous with its "
                         "header")
                 restored.append(restore_payload(entry, raw))
@@ -307,11 +418,27 @@ class RecoveryManager:
                 disk = self.data_disks.get(disk_id)
                 if disk is None:
                     raise RecoveryError(
-                        f"record {header.sequence_id} targets unknown "
+                        f"record {sequence} targets unknown "
                         f"data disk {disk_id}")
-                yield disk.write(lba, data)
+                nsectors = len(data) // sector_size
+                try:
+                    yield disk.write(lba, data)
+                except MediaError:
+                    for address in range(lba, lba + nsectors):
+                        at_risk.append((sequence, disk_id, address))
+                    continue
                 self._report.data_writes_issued += 1
+                for address in range(lba, lba + nsectors):
+                    previous = replayed.get((disk_id, address), -1)
+                    if sequence > previous:
+                        replayed[(disk_id, address)] = sequence
             self._report.sectors_replayed += header.batch_size
+        dropped = {
+            (disk_id, address)
+            for sequence, disk_id, address in at_risk
+            if replayed.get((disk_id, address), -1) < sequence
+        }
+        self._report.dropped_sectors.extend(sorted(dropped))
 
 
 def _coalesce(

@@ -6,16 +6,24 @@ track, which is what preserves the write-where-the-head-is invariant.
 Write-backs are issued at low priority so that data-disk reads, which
 some application is synchronously waiting on, overtake them in each
 drive's command queue.
+
+Media faults on a data disk do not lose data: a failed write-back is
+retried with exponential backoff, then its target sectors are
+relocated to the drive's spares and retried once more; a page that
+still cannot be written is parked in :attr:`failed_pages` — its data
+stays pinned in the staging buffer (reads remain correct) and its log
+records stay live (the log copy persists) — rather than being dropped
+or wedging the drain loop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
-from repro.core.buffer import BufferManager, PendingPage
+from repro.core.buffer import BufferManager, PageKey, PendingPage
 from repro.disk.controller import PRIORITY_READ, PRIORITY_WRITE
 from repro.disk.drive import DiskDrive
-from repro.errors import DiskHaltedError, TrailError
+from repro.errors import DiskHaltedError, MediaError, TrailError
 from repro.sim import Process, Simulation, Store
 
 
@@ -28,6 +36,8 @@ class WritebackScheduler:
         data_disks: Dict[int, DiskDrive],
         buffers: BufferManager,
         reads_preempt_writebacks: bool = True,
+        retry_limit: int = 4,
+        retry_base_ms: float = 1.0,
     ) -> None:
         if not data_disks:
             raise TrailError("write-back scheduler needs >= 1 data disk")
@@ -36,11 +46,22 @@ class WritebackScheduler:
         self.buffers = buffers
         self._write_priority = (PRIORITY_WRITE if reads_preempt_writebacks
                                 else PRIORITY_READ)
+        self.retry_limit = retry_limit
+        self.retry_base_ms = retry_base_ms
         self.queue: Store = Store(sim)
         self.pages_written = 0
         self.sectors_written = 0
+        #: Write attempts that failed with a media error and were retried.
+        self.write_retries = 0
+        #: Pages whose targets were relocated to spare sectors.
+        self.pages_relocated = 0
+        #: Pages parked after retries and relocation both failed; the
+        #: staging-buffer copy remains authoritative for reads.
+        self.failed_pages: Dict[PageKey, PendingPage] = {}
+        #: Called (with no arguments) whenever the scheduler becomes
+        #: quiescent; the driver uses it to wake ``flush()`` waiters.
+        self.on_idle: Optional[Callable[[], None]] = None
         self._process: Optional[Process] = None
-        self._idle_event = None
 
     def start(self) -> Process:
         """Launch the background drain process."""
@@ -59,6 +80,9 @@ class WritebackScheduler:
         """Queue ``page`` for write-back unless one is already queued."""
         if page.queued or page.in_flight:
             return
+        # A re-write of a previously failed page gets a fresh chance:
+        # the new data may land on remapped (healthy) sectors.
+        self.failed_pages.pop(page.key, None)
         page.queued = True
         self.queue.put(page)
 
@@ -69,8 +93,10 @@ class WritebackScheduler:
 
     @property
     def quiescent(self) -> bool:
-        """True when nothing is queued, in flight, or pinned."""
-        return len(self.queue) == 0 and self.buffers.pending_pages == 0
+        """True when nothing more can be drained: the queue is empty
+        and every pinned page is either committed or parked as failed."""
+        return (len(self.queue) == 0
+                and self.buffers.pending_pages == len(self.failed_pages))
 
     # ------------------------------------------------------------------
 
@@ -88,12 +114,18 @@ class WritebackScheduler:
                     raise TrailError(
                         f"no data disk with id {page.disk_id}")
                 try:
-                    yield disk.write(page.lba, data,
-                                     priority=self._write_priority)
+                    written = yield from self._write_with_retries(
+                        disk, page, data)
                 except DiskHaltedError:
                     page.in_flight = False
                     return  # power failure: recovery will replay the log
                 page.in_flight = False
+                if not written:
+                    # Retries and relocation exhausted: park the page.
+                    # Pinned data and live log records keep it safe.
+                    self.failed_pages[page.key] = page
+                    self._notify_if_idle()
+                    continue
                 self.pages_written += 1
                 self.sectors_written += page.nsectors
                 fully_committed = self.buffers.committed(page, version)
@@ -102,5 +134,48 @@ class WritebackScheduler:
                     # flight; it needs its own write-back.
                     page.queued = True
                     self.queue.put(page)
+                self._notify_if_idle()
         except Interrupt:
             return
+
+    def _write_with_retries(self, disk: DiskDrive, page: PendingPage,
+                            data: bytes):
+        """One write-back with bounded backoff retries and relocation.
+
+        Returns True once the write reaches the platter, False when the
+        target is unwritable even after relocating it to spares.
+        ``DiskHaltedError`` propagates (power failure is not a media
+        fault).
+        """
+        backoff = self.retry_base_ms
+        for attempt in range(self.retry_limit + 1):
+            try:
+                yield disk.write(page.lba, data,
+                                 priority=self._write_priority)
+                return True
+            except DiskHaltedError:
+                raise
+            except MediaError:
+                if attempt == self.retry_limit:
+                    break
+                self.write_retries += 1
+                if backoff > 0:
+                    yield self.sim.timeout(backoff)
+                backoff *= 2
+        # Persistently failing target: relocate its bad sectors to
+        # spares and try once more.
+        if disk.relocate(page.lba, page.nsectors) > 0:
+            self.pages_relocated += 1
+            try:
+                yield disk.write(page.lba, data,
+                                 priority=self._write_priority)
+                return True
+            except DiskHaltedError:
+                raise
+            except MediaError:
+                pass
+        return False
+
+    def _notify_if_idle(self) -> None:
+        if self.on_idle is not None and self.quiescent:
+            self.on_idle()

@@ -77,6 +77,18 @@ class DriveStats:
     transfer_ms: float = 0.0
     overhead_ms: float = 0.0
     halted_commands: int = 0
+    #: Soft (transient) per-sector failures encountered and retried.
+    transient_errors: int = 0
+    #: Extra revolutions spent re-attempting failed sectors.
+    retries: int = 0
+    #: Read commands failed with an unrecoverable sector.
+    read_errors: int = 0
+    #: Write commands failed after retries and remapping were exhausted.
+    write_errors: int = 0
+    #: Write targets transparently relocated to spare sectors.
+    sectors_remapped: int = 0
+    #: Injected service-time spikes absorbed by commands.
+    latency_spikes: int = 0
 
     def record(self, result: IoResult) -> None:
         """Fold one completed command into the aggregates."""

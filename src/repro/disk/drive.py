@@ -17,19 +17,31 @@ addressed commands like a real SCSI target.
 Power failure is modelled by :meth:`halt`: the in-flight command is
 interrupted, whole sectors already transferred persist in the store,
 and everything else is lost.
+
+Media faults are modelled by an optional attached
+:class:`~repro.faults.FaultInjector` (see :meth:`attach_faults`).
+With one attached, the drive behaves like real hardware: transient
+per-sector errors are retried for up to ``retry_limit`` extra
+revolutions, unrecoverable write targets are transparently remapped to
+spare sectors, unrecoverable reads fail the command with
+:class:`~repro.errors.UnrecoverableSectorError`, and silent bit flips
+land on the platter with the command still reporting success.  With no
+injector attached (the default) none of this code runs — the fast path
+is byte- and event-identical to the fault-free drive.
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Set
+from typing import List, Optional, Set, Union
 
-from repro.errors import DiskHaltedError
+from repro.errors import DiskHaltedError, UnrecoverableSectorError
 from repro.disk.controller import (
     DriveStats, IoResult, Op, PRIORITY_READ, _Segment)
 from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import RotationModel, SeekModel
 from repro.disk.sectors import SectorStore
+from repro.faults.plan import FaultInjector, FaultPlan
 from repro.sim import Interrupt, PriorityResource, Process, Simulation
 
 
@@ -70,6 +82,46 @@ class DiskDrive:
         self._position_head = 0
         self._halted = False
         self._outstanding: Set[Process] = set()
+        #: Media-fault injector; None means the drive is perfect and
+        #: the service loop takes the original zero-overhead path.
+        self.faults: Optional[FaultInjector] = None
+
+    # ------------------------------------------------------------------
+    # Fault injection
+
+    def attach_faults(
+        self, plan: Union[FaultPlan, FaultInjector],
+    ) -> FaultInjector:
+        """Attach a fault plan (or a prebuilt injector) to this drive.
+
+        Returns the injector so tests can inspect its audit trail.
+        Attaching ``FaultPlan()`` (all probabilities zero) exercises
+        the hardened code paths without injecting anything.
+        """
+        if isinstance(plan, FaultInjector):
+            self.faults = plan
+        else:
+            self.faults = FaultInjector(plan, drive_name=self.name)
+        return self.faults
+
+    def relocate(self, lba: int, nsectors: int) -> int:
+        """Force-remap every unrecoverable sector in an extent to spares.
+
+        Used by upper layers (the write-back scheduler) to relocate a
+        persistently failing write target before retrying it.  A pure
+        controller-metadata operation: costs no simulated time.
+        Returns the number of sectors remapped; 0 when no injector is
+        attached, the extent is healthy, or the spare pool is empty.
+        """
+        faults = self.faults
+        if faults is None:
+            return 0
+        remapped = 0
+        for address in range(lba, lba + nsectors):
+            if address in faults.bad_sectors and faults.remap(address):
+                self.stats.sectors_remapped += 1
+                remapped += 1
+        return remapped
 
     # ------------------------------------------------------------------
     # Public command API
@@ -181,7 +233,14 @@ class DiskDrive:
             if self._halted:
                 raise DiskHaltedError(
                     f"{self.name}: drive is powered off")
-            yield self.sim.timeout(self.command_overhead_ms)
+            faults = self.faults
+            overhead = self.command_overhead_ms
+            if faults is not None:
+                spike = faults.command_spike_ms()
+                if spike > 0.0:
+                    self.stats.latency_spikes += 1
+                    overhead += spike
+            yield self.sim.timeout(overhead)
 
             for segment in self._plan_segments(lba, nsectors):
                 cylinder, head, spt, track_start = \
@@ -223,13 +282,18 @@ class DiskDrive:
                         f"{segment.nsectors} sectors of {op.value}@{lba}")
                 transfer_total += transfer
 
-                if op is Op.WRITE and data is not None:
+                if faults is not None:
+                    yield from self._service_segment_faulty(
+                        op, segment, lba, data)
+                elif op is Op.WRITE and data is not None:
                     offset = (segment.first_lba - lba) * self.geometry.sector_size
                     self.store.write(
                         segment.first_lba,
                         data[offset:offset
                              + segment.nsectors * self.geometry.sector_size])
 
+            if faults is not None and op is Op.WRITE:
+                faults.grow_defect(lba, nsectors)
             payload = (self.store.read(lba, nsectors)
                        if op is Op.READ else None)
             result = IoResult(
@@ -249,6 +313,63 @@ class DiskDrive:
                 f"{self.name}: power lost during {op.value}@{lba}")
         finally:
             self._queue.release(request)
+
+    def _service_segment_faulty(self, op: Op, segment: _Segment,
+                                lba: int, data: Optional[bytes]):
+        """Fault-aware tail of one segment's service (injector attached).
+
+        Runs after the nominal transfer time has elapsed.  Each sector
+        is checked against the injector: transient failures and
+        unrecoverable (bad) sectors are retried for up to
+        ``retry_limit`` extra revolutions each; a write whose target is
+        still failing is remapped to a spare sector, and a read (or a
+        write with the spare pool exhausted) fails the whole command
+        with :class:`UnrecoverableSectorError`.  Sectors that succeeded
+        before the failing one persist, like a real partially-completed
+        command.  Write data may be silently bit-flipped as it lands.
+        """
+        faults = self.faults
+        stats = self.stats
+        retry_limit = faults.plan.retry_limit
+        revolution = self.rotation.rotation_ms
+        sector_size = self.geometry.sector_size
+        write = op is Op.WRITE
+        for index in range(segment.nsectors):
+            address = segment.first_lba + index
+            attempts = 0
+            while True:
+                if address in faults.bad_sectors:
+                    failed = True
+                else:
+                    failed = faults.attempt_fails(write)
+                    if failed:
+                        stats.transient_errors += 1
+                if not failed:
+                    break
+                if attempts >= retry_limit:
+                    if write and faults.remap(address):
+                        # The controller redirected the target to a
+                        # spare; one more revolution to reach it.
+                        stats.sectors_remapped += 1
+                        stats.retries += 1
+                        yield self.sim.timeout(revolution)
+                        break
+                    if write:
+                        stats.write_errors += 1
+                    else:
+                        stats.read_errors += 1
+                    raise UnrecoverableSectorError(
+                        f"{self.name}: unrecoverable {op.value} at LBA "
+                        f"{address} after {attempts} retries",
+                        lba=address)
+                attempts += 1
+                stats.retries += 1
+                yield self.sim.timeout(revolution)
+            if write and data is not None:
+                offset = (address - lba) * sector_size
+                raw = data[offset:offset + sector_size]
+                raw, _corrupted = faults.corrupt_sector(address, raw)
+                self.store.write_sector(address, raw)
 
     def _plan_segments(self, lba: int, nsectors: int) -> List[_Segment]:
         """Split an extent into per-track contiguous segments."""

@@ -29,7 +29,64 @@ class GeometryError(DiskError):
 
 
 class MediaError(DiskError):
-    """A sector read found no written data (unformatted media)."""
+    """Base class for errors originating in the recording medium itself.
+
+    The taxonomy distinguishes three failure modes a caller may want to
+    handle differently:
+
+    * :class:`UnformattedReadError` — the sector holds no written data;
+      a software/layout problem, not a hardware fault.
+    * :class:`UnrecoverableSectorError` — the drive exhausted its retry
+      and remap budget; the sector's contents are gone.
+    * :class:`TransientIoError` — a single attempt failed but a retry
+      may succeed.  Normally absorbed by the drive's internal retry
+      loop; escapes only when the retry budget is disabled.
+
+    Silent corruption by definition raises nothing at the disk layer;
+    it is detected (if at all) by upper-layer checksums, which raise
+    :class:`CorruptDataError`.
+    """
+
+    #: LBA of the failing sector, when known (``None`` otherwise).
+    lba = None
+
+    def __init__(self, message: str, lba=None) -> None:
+        super().__init__(message)
+        self.lba = lba
+
+
+class UnformattedReadError(MediaError):
+    """A sector read found no written data (unformatted media).
+
+    Historical note: this condition was previously reported as the
+    ``MediaError`` base class itself; it is now a distinct subclass so
+    "nothing was ever written here" cannot be confused with "the media
+    destroyed what was written" (:class:`UnrecoverableSectorError`).
+    """
+
+
+class TransientIoError(MediaError):
+    """One read/write attempt failed; the same command may succeed if
+    retried.  Models soft errors (vibration, marginal signal).  The
+    drive retries these internally up to its bounded retry budget."""
+
+
+class UnrecoverableSectorError(MediaError):
+    """A sector could not be read or written after exhausting retries.
+
+    For writes the drive first tries to remap the sector to a spare;
+    this error means the spare pool is exhausted too.  For reads there
+    is nothing to remap to — the recorded data is lost.
+    """
+
+
+class CorruptDataError(MediaError):
+    """A checksum detected that stored data was silently corrupted.
+
+    Raised by layers that maintain checksums (the Trail record format),
+    never by the drive itself: silent corruption is silent precisely
+    because the hardware reports success.
+    """
 
 
 class DiskHaltedError(DiskError):

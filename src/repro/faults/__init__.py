@@ -1,0 +1,30 @@
+"""Deterministic media-fault injection for simulated drives.
+
+The paper's failure model is power loss only; real drives also throw
+transient read/write errors, grow bad sectors over their lifetime, and
+occasionally corrupt data silently.  This package models all of those
+as a seeded, reproducible schedule that can be attached to any
+:class:`~repro.disk.drive.DiskDrive`:
+
+* :class:`FaultPlan` — a declarative description of a fault scenario
+  (latent/grown bad sectors, transient error probabilities, silent
+  bit-flip corruption, latency spikes) plus the drive's fault-handling
+  budget (retry limit, spare-sector pool).
+* :class:`FaultInjector` — the per-drive stateful instance the drive
+  consults on every command.  All randomness comes from a private
+  ``random.Random`` seeded from the plan seed and the drive name, so
+  the same plan on the same workload produces bit-identical fault
+  sequences — and a drive with no injector attached takes a zero-cost
+  fast path that cannot perturb existing simulations.
+* :mod:`repro.faults.scenarios` — canonical named scenarios for the
+  CLI demo (``python -m repro faults <scenario>``).  Imported lazily
+  (it pulls in the whole Trail stack, which itself imports this
+  package).
+"""
+
+from repro.faults.plan import FaultInjector, FaultPlan
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+]

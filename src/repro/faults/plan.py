@@ -1,0 +1,180 @@
+"""Fault plans and the per-drive injector that executes them.
+
+Determinism contract: every random decision is drawn from a
+``random.Random`` seeded with ``(plan.seed, drive name)`` — never from
+the wall clock or the global ``random`` module — and decisions are
+drawn in the fixed order the drive's service loop consults the
+injector.  Because the simulation kernel itself is deterministic, the
+same plan attached to the same workload yields an identical fault
+sequence and an identical simulation outcome, which is what lets the
+crash+fault fuzz harness shrink failures to a single seed.
+
+The injector draws one random number per decision *point* (not per
+probability > 0), so two plans with the same seed but different
+probabilities still walk the same random stream — raising a
+probability flips outcomes without reshuffling unrelated decisions.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from random import Random
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, seeded description of one fault scenario.
+
+    Probabilities are per *sector attempt* (transient errors) or per
+    *command* (grown defects, corruption, latency spikes).  A default
+    plan injects nothing; attaching it still exercises the hardened
+    code paths without changing behaviour.
+    """
+
+    #: Seed for the per-drive random streams.
+    seed: int = 0
+
+    #: Sectors that are unrecoverable from the moment of attachment
+    #: (manufacturing defects the format pass missed).
+    latent_bad_sectors: FrozenSet[int] = frozenset()
+
+    #: Per-attempt probability that reading a sector soft-fails.
+    transient_read_error_prob: float = 0.0
+
+    #: Per-attempt probability that writing a sector soft-fails.
+    transient_write_error_prob: float = 0.0
+
+    #: Per-write-command probability that one sector of the written
+    #: extent becomes a grown defect *after* the command completes.
+    grown_defect_prob: float = 0.0
+
+    #: Per-written-sector probability of a silent single-bit flip in
+    #: the data as it lands on the platter.  The drive reports success.
+    corruption_prob: float = 0.0
+
+    #: Per-command probability of an added service-time spike
+    #: (recalibration, thermal retry) of ``latency_spike_ms``.
+    latency_spike_prob: float = 0.0
+
+    #: Added latency when a spike fires.
+    latency_spike_ms: float = 20.0
+
+    #: Bounded retry budget per sector: how many extra revolutions the
+    #: drive spends re-attempting a failed sector before escalating.
+    retry_limit: int = 3
+
+    #: Spare sectors available for remapping unrecoverable write
+    #: targets.  Reads cannot be remapped.
+    spare_sectors: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("transient_read_error_prob",
+                     "transient_write_error_prob", "grown_defect_prob",
+                     "corruption_prob", "latency_spike_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.latency_spike_ms < 0:
+            raise ValueError("latency_spike_ms must be >= 0")
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if self.spare_sectors < 0:
+            raise ValueError("spare_sectors must be >= 0")
+        object.__setattr__(
+            self, "latent_bad_sectors",
+            frozenset(self.latent_bad_sectors))
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` for one drive.
+
+    The drive consults the injector at fixed points of its service
+    loop; the injector owns the bad-sector set, the spare pool, and an
+    audit trail (:attr:`corrupted_sectors`, :attr:`grown_defects`) that
+    tests use as a ground-truth oracle.
+    """
+
+    __slots__ = ("plan", "drive_name", "_rng", "bad_sectors",
+                 "spares_left", "corrupted_sectors", "grown_defects",
+                 "remapped_sectors")
+
+    def __init__(self, plan: FaultPlan, drive_name: str = "disk") -> None:
+        self.plan = plan
+        self.drive_name = drive_name
+        # Derive a stable per-drive seed: same plan + same drive name
+        # => same stream, independent of attachment order.
+        name_digest = zlib.crc32(drive_name.encode("utf-8"))
+        self._rng = Random((plan.seed << 32) ^ name_digest)
+        self.bad_sectors: Set[int] = set(plan.latent_bad_sectors)
+        self.spares_left = plan.spare_sectors
+        #: LBAs whose stored contents were silently bit-flipped.
+        self.corrupted_sectors: List[int] = []
+        #: LBAs that became bad after a successful write (grown defects).
+        self.grown_defects: List[int] = []
+        #: LBAs remapped to spares (readable/writable again).
+        self.remapped_sectors: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Per-command decisions (drawn once per disk command)
+
+    def command_spike_ms(self) -> float:
+        """Extra service latency for this command (0.0 = no spike)."""
+        if self._rng.random() < self.plan.latency_spike_prob:
+            return self.plan.latency_spike_ms
+        return 0.0
+
+    def grow_defect(self, lba: int, nsectors: int) -> Optional[int]:
+        """Maybe turn one sector of a just-written extent into a grown
+        defect.  Returns the new bad LBA, or None."""
+        if self._rng.random() >= self.plan.grown_defect_prob:
+            return None
+        victim = lba + self._rng.randrange(nsectors)
+        if victim in self.bad_sectors:
+            return None
+        self.bad_sectors.add(victim)
+        self.grown_defects.append(victim)
+        return victim
+
+    # ------------------------------------------------------------------
+    # Per-sector decisions
+
+    def attempt_fails(self, write: bool) -> bool:
+        """One read/write attempt at a (non-bad) sector soft-fails?"""
+        prob = (self.plan.transient_write_error_prob if write
+                else self.plan.transient_read_error_prob)
+        return self._rng.random() < prob
+
+    def corrupt_sector(self, lba: int, data: bytes) -> Tuple[bytes, bool]:
+        """Maybe flip one bit of a sector as it lands on the platter.
+
+        Returns ``(data, corrupted)``; the drive stores the returned
+        bytes and reports success either way.
+        """
+        if self._rng.random() >= self.plan.corruption_prob:
+            return data, False
+        bit = self._rng.randrange(len(data) * 8)
+        byte_index, bit_index = divmod(bit, 8)
+        flipped = bytearray(data)
+        flipped[byte_index] ^= 1 << bit_index
+        self.corrupted_sectors.append(lba)
+        return bytes(flipped), True
+
+    # ------------------------------------------------------------------
+    # Remapping
+
+    def remap(self, lba: int) -> bool:
+        """Redirect ``lba`` to a spare sector, if any remain.
+
+        Modelled logically: the controller's remap table makes the
+        logical LBA healthy again (reads and writes go to the spare),
+        so the injector simply removes it from the bad set and charges
+        the spare pool.  Returns False when the pool is exhausted.
+        """
+        if self.spares_left <= 0:
+            return False
+        self.spares_left -= 1
+        self.bad_sectors.discard(lba)
+        self.remapped_sectors.append(lba)
+        return True

@@ -1,0 +1,228 @@
+"""Degraded mode: the Trail driver survives a dying log disk, and
+parked write-back failures are never silently discarded."""
+
+from repro.core.config import TrailConfig
+from repro.core.driver import TrailDriver, reserved_layout
+from repro.core.format import decode_disk_header
+from repro.faults import FaultPlan
+from repro.sim import Simulation
+from tests.conftest import make_tiny_drive
+
+SECTOR = 512
+
+
+def _log_tracks_bad_plan(log_drive, config):
+    """A plan that poisons every usable log track but spares the
+    header replicas, so header updates still land."""
+    header_lbas, usable = reserved_layout(log_drive.geometry, config)
+    geometry = log_drive.geometry
+    bad = set()
+    for track in usable:
+        first = geometry.track_first_lba(track)
+        bad.update(range(first, first + geometry.track_sectors(track)))
+    return FaultPlan(latent_bad_sectors=bad, retry_limit=1,
+                     spare_sectors=0)
+
+
+def build_stack(log_plan=None, data_plan=None, config=None):
+    config = config or TrailConfig(idle_reposition_interval_ms=0)
+    sim = Simulation()
+    log = make_tiny_drive(sim, "log", cylinders=30)
+    data = make_tiny_drive(sim, "data", cylinders=80, heads=4,
+                           sectors_per_track=32)
+    TrailDriver.format_disk(log, config)
+    if log_plan is not None:
+        log.attach_faults(log_plan)
+    if data_plan is not None:
+        data.attach_faults(data_plan)
+    driver = TrailDriver(sim, log, {0: data}, config)
+    sim.run_until(sim.process(driver.mount()))
+    return sim, driver, log, data, config
+
+
+def crash_var_of(log_drive):
+    header_lbas, _ = reserved_layout(
+        log_drive.geometry, TrailConfig())
+    sector = log_drive.store.read_sector(header_lbas[0])
+    return decode_disk_header(sector).crash_var
+
+
+class TestLogDiskDeath:
+    def test_degrades_and_every_write_still_acks(self):
+        config = TrailConfig(idle_reposition_interval_ms=0)
+        probe_sim = Simulation()
+        probe = make_tiny_drive(probe_sim, "log", cylinders=30)
+        plan = _log_tracks_bad_plan(probe, config)
+
+        sim, driver, log, data, config = build_stack(log_plan=plan)
+        assert not driver.degraded
+
+        payloads = {}
+
+        def workload():
+            for index in range(6):
+                lba = 100 + index * 7
+                payload = bytes([index + 1]) * SECTOR
+                yield driver.write(lba, payload)
+                payloads[lba] = payload
+
+        sim.run_until(sim.process(workload()))
+        assert driver.degraded
+        assert len(payloads) == 6  # every write acked despite log death
+        assert driver.stats.degraded_writes == 6
+        assert driver.stats.log_media_errors >= 1
+        for lba, payload in payloads.items():
+            assert data.store.read_sector(lba) == payload
+
+    def test_transition_marks_log_clean_before_first_ack(self):
+        config = TrailConfig(idle_reposition_interval_ms=0)
+        probe_sim = Simulation()
+        probe = make_tiny_drive(probe_sim, "log", cylinders=30)
+        plan = _log_tracks_bad_plan(probe, config)
+
+        sim, driver, log, data, config = build_stack(log_plan=plan)
+
+        def one_write():
+            yield driver.write(50, b"x" * SECTOR)
+
+        sim.run_until(sim.process(one_write()))
+        assert driver.degraded
+        # The degraded log is marked clean: stale records from before
+        # the failure must never be replayed over write-through data.
+        assert crash_var_of(log) == 1
+
+    def test_crash_while_degraded_skips_recovery_and_keeps_data(self):
+        config = TrailConfig(idle_reposition_interval_ms=0)
+        probe_sim = Simulation()
+        probe = make_tiny_drive(probe_sim, "log", cylinders=30)
+        plan = _log_tracks_bad_plan(probe, config)
+
+        sim, driver, log, data, _config = build_stack(log_plan=plan)
+        payloads = {}
+
+        def workload():
+            for index in range(4):
+                lba = 200 + index
+                payload = bytes([0x40 + index]) * SECTOR
+                yield driver.write(lba, payload)
+                payloads[lba] = payload
+
+        sim.run_until(sim.process(workload()))
+        assert driver.degraded
+        driver.crash()
+
+        log.power_on()
+        data.power_on()
+        remounted = TrailDriver(sim, log, {0: data},
+                                TrailConfig(idle_reposition_interval_ms=0))
+        report = sim.run_until(sim.process(remounted.mount()))
+        assert report is None  # clean marker: no recovery pass
+        for lba, payload in payloads.items():
+            assert data.store.read_sector(lba) == payload
+
+
+class TestParkedWritebackFailures:
+    BAD_LBA = 300
+
+    def _plan(self):
+        return FaultPlan(latent_bad_sectors={self.BAD_LBA},
+                         retry_limit=0, spare_sectors=0)
+
+    def test_flush_completes_with_parked_page(self):
+        sim, driver, log, data, _config = build_stack(
+            data_plan=self._plan())
+
+        def workload():
+            yield driver.write(self.BAD_LBA, b"p" * SECTOR)
+            yield driver.write(500, b"q" * SECTOR)
+            yield from driver.flush()
+
+        sim.run_until(sim.process(workload()))
+        assert len(driver.writeback.failed_pages) == 1
+        key = next(iter(driver.writeback.failed_pages))
+        assert key[1] == self.BAD_LBA
+        assert data.store.read_sector(500) == b"q" * SECTOR
+
+    def test_shutdown_withholds_clean_marker_and_recovery_reports(self):
+        sim, driver, log, data, _config = build_stack(
+            data_plan=self._plan())
+
+        def workload():
+            yield driver.write(self.BAD_LBA, b"p" * SECTOR)
+            yield driver.write(501, b"r" * SECTOR)
+            yield from driver.clean_shutdown()
+
+        sim.run_until(sim.process(workload()))
+        assert crash_var_of(log) == 0  # forced through recovery
+
+        log_snap = log.store.snapshot()
+        data_snap = data.store.snapshot()
+        sim2 = Simulation()
+        log2 = make_tiny_drive(sim2, "log", cylinders=30)
+        data2 = make_tiny_drive(sim2, "data", cylinders=80, heads=4,
+                                sectors_per_track=32)
+        log2.store.restore(log_snap)
+        data2.store.restore(data_snap)
+        data2.attach_faults(self._plan())
+        remounted = TrailDriver(sim2, log2, {0: data2},
+                                TrailConfig(idle_reposition_interval_ms=0))
+        report = sim2.run_until(sim2.process(remounted.mount()))
+        assert report is not None
+        assert (0, self.BAD_LBA) in report.dropped_sectors
+
+    def test_remap_capable_remount_replays_the_parked_sector(self):
+        sim, driver, log, data, _config = build_stack(
+            data_plan=self._plan())
+
+        def workload():
+            yield driver.write(self.BAD_LBA, b"p" * SECTOR)
+            yield from driver.clean_shutdown()
+
+        sim.run_until(sim.process(workload()))
+
+        log_snap = log.store.snapshot()
+        data_snap = data.store.snapshot()
+        sim2 = Simulation()
+        log2 = make_tiny_drive(sim2, "log", cylinders=30)
+        data2 = make_tiny_drive(sim2, "data", cylinders=80, heads=4,
+                                sectors_per_track=32)
+        log2.store.restore(log_snap)
+        data2.store.restore(data_snap)
+        # The replacement drive is healthy: replay must succeed.
+        remounted = TrailDriver(sim2, log2, {0: data2},
+                                TrailConfig(idle_reposition_interval_ms=0))
+        report = sim2.run_until(sim2.process(remounted.mount()))
+        assert report is not None
+        assert report.dropped_sectors == []
+        assert data2.store.read_sector(self.BAD_LBA) == b"p" * SECTOR
+
+
+class TestEventDrivenFlush:
+    def test_idle_flush_returns_without_advancing_time(self):
+        sim, driver, _log, _data, _config = build_stack()
+        before = sim.now
+
+        def body():
+            yield from driver.flush()
+            return sim.now
+
+        end = sim.run_until(sim.process(body()))
+        assert end == before
+
+    def test_concurrent_flushes_all_wake(self):
+        sim, driver, _log, data, _config = build_stack()
+        done = []
+
+        def writer():
+            yield driver.write(64, b"w" * SECTOR)
+
+        def flusher(tag):
+            yield from driver.flush()
+            done.append(tag)
+
+        sim.process(writer())
+        sim.process(flusher("a"))
+        sim.process(flusher("b"))
+        sim.run()
+        assert sorted(done) == ["a", "b"]
+        assert data.store.read_sector(64) == b"w" * SECTOR

@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.core.config import MAX_TRAIL_BATCH
+from repro.core.config import MAX_TRAIL_BATCH, TRAIL_SIGNATURE
 from repro.core.format import (
     BatchEntry, HEADER_FIRST_BYTE, LogDiskHeader, NULL_LBA,
     PAYLOAD_FIRST_BYTE, RecordHeader, decode_disk_header,
@@ -38,7 +38,8 @@ class TestRecordRoundTrip:
         from repro.core.format import payload_crc32
         assert decoded.payload_crc == payload_crc32(sectors[1:])
         assert decoded == dataclasses.replace(
-            header, payload_crc=decoded.payload_crc)
+            header, payload_crc=decoded.payload_crc,
+            header_crc=decoded.header_crc)
         assert restore_payload(decoded.entries[0], sectors[1]) == payload
 
     def test_marker_bytes(self):
@@ -158,6 +159,16 @@ class TestDiskHeader:
     def test_short_sector(self):
         with pytest.raises(LogFormatError):
             decode_disk_header(b"TR")
+
+    def test_flipped_crash_var_bit_is_detected(self):
+        # Without the header CRC this flip would silently turn a dirty
+        # disk (crash_var=0) into a "clean" one and skip recovery.
+        sector = bytearray(
+            encode_disk_header(LogDiskHeader(epoch=3, crash_var=0)))
+        offset = len(TRAIL_SIGNATURE) + 8  # crash_var field
+        sector[offset] ^= 0x01
+        with pytest.raises(LogFormatError, match="checksum"):
+            decode_disk_header(bytes(sector))
 
 
 class TestGeometryRecord:

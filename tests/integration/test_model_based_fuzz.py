@@ -14,7 +14,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.config import TrailConfig
 from repro.core.multilog import StripedTrailDriver
-from repro.core.driver import TrailDriver
+from repro.core.driver import TrailDriver, reserved_layout
+from repro.errors import MediaError, TrailError
+from repro.faults import FaultPlan
 from repro.sim import Simulation
 from tests.conftest import make_tiny_drive
 
@@ -112,3 +114,143 @@ def test_trail_matches_model_property(seed):
     sim = Simulation()
     driver = build_trail(sim, data_disk_count=1)
     run_fuzz(driver, sim, seed, operations=60)
+
+
+# ----------------------------------------------------------------------
+# Crash + media-fault fuzzing
+#
+# Each schedule derives two random FaultPlans (log + data), runs a
+# random write workload under them, crashes at a random time, then
+# remounts over the surviving platters with the same plans attached.
+# The invariant is the durability contract from docs/FAULTS.md: every
+# acknowledged write is either readable afterwards or *reported* —
+# listed in RecoveryReport.dropped_sectors, covered by a chain-break
+# flag, or lost to a mount that failed loudly.  Silence is the only
+# failure.
+
+
+def _random_fault_plans(rng, log_drive):
+    """Two mild-but-nasty plans derived deterministically from ``rng``."""
+    _header_lbas, usable = reserved_layout(log_drive.geometry,
+                                           TrailConfig())
+    geometry = log_drive.geometry
+    log_candidates = [
+        geometry.track_first_lba(track) + offset
+        for track in usable
+        for offset in range(geometry.track_sectors(track))]
+    log_bad = {rng.choice(log_candidates)
+               for _ in range(rng.randint(0, 3))}
+    log_plan = FaultPlan(
+        seed=rng.randrange(1 << 16),
+        latent_bad_sectors=log_bad,
+        transient_read_error_prob=rng.choice([0.0, 0.02, 0.05]),
+        transient_write_error_prob=rng.choice([0.0, 0.02]),
+        corruption_prob=rng.choice([0.0, 0.0, 0.01, 0.03]),
+        latency_spike_prob=rng.choice([0.0, 0.05]),
+        latency_spike_ms=8.0,
+        retry_limit=4,
+        spare_sectors=rng.choice([0, 8]))
+    # No silent corruption on the data disk: Trail keeps no checksums
+    # there, so injected bit rot would be undetectable by design.
+    data_plan = FaultPlan(
+        seed=rng.randrange(1 << 16),
+        latent_bad_sectors={rng.randrange(0, SPAN)
+                            for _ in range(rng.randint(0, 3))},
+        transient_read_error_prob=rng.choice([0.0, 0.02, 0.05]),
+        transient_write_error_prob=rng.choice([0.0, 0.02, 0.05]),
+        latency_spike_prob=rng.choice([0.0, 0.05]),
+        latency_spike_ms=8.0,
+        retry_limit=4,
+        spare_sectors=rng.choice([0, 4]))
+    return log_plan, data_plan
+
+
+def run_crash_fault_schedule(seed):
+    """One seeded schedule; returns a comparable outcome summary."""
+    rng = random.Random(seed)
+    config = TrailConfig(idle_reposition_interval_ms=0)
+    sim = Simulation()
+    log = make_tiny_drive(sim, "log", cylinders=40)
+    data = make_tiny_drive(sim, "data", cylinders=80, heads=4,
+                           sectors_per_track=32)
+    log_plan, data_plan = _random_fault_plans(rng, log)
+    TrailDriver.format_disk(log, config)
+    log.attach_faults(log_plan)
+    data.attach_faults(data_plan)
+    driver = TrailDriver(sim, log, {0: data}, config)
+
+    acked = {}
+    crash_at = rng.uniform(30.0, 220.0)
+    writes = rng.randint(10, 40)
+
+    def workload():
+        try:
+            yield sim.process(driver.mount())
+            for index in range(writes):
+                lba = rng.randrange(0, SPAN)
+                payload = bytes([(seed + index) % 255 + 1]) * SECTOR
+                try:
+                    yield driver.write(lba, payload)
+                except (MediaError, TrailError):
+                    continue  # failed loudly: not acknowledged
+                acked[lba] = payload
+                if rng.random() < 0.3:
+                    yield sim.timeout(rng.uniform(0.1, 4.0))
+        except Exception:
+            return  # power failure / dead drive: workload over
+
+    process = sim.process(workload())
+
+    def crasher():
+        yield sim.timeout(crash_at)
+        if process.is_alive:
+            process.interrupt("power failure")
+        driver.crash()
+
+    sim.process(crasher())
+    sim.run()
+
+    # Remount a fresh stack over the surviving platters with the same
+    # fault plans (fresh injectors: same seed, same behaviour).
+    sim2 = Simulation()
+    log2 = make_tiny_drive(sim2, "log", cylinders=40)
+    data2 = make_tiny_drive(sim2, "data", cylinders=80, heads=4,
+                            sectors_per_track=32)
+    log2.store.restore(log.store.snapshot())
+    data2.store.restore(data.store.snapshot())
+    log2.attach_faults(log_plan)
+    data2.attach_faults(data_plan)
+    remounted = TrailDriver(sim2, log2, {0: data2}, config)
+    try:
+        report = sim2.run_until(sim2.process(remounted.mount()))
+    except Exception as exc:
+        # A loud mount failure (shredded header, dead log disk) is a
+        # reported outcome: nothing was claimed durable-and-fine.
+        return ("mount-failed", type(exc).__name__, sorted(acked))
+
+    dropped = set(report.dropped_sectors) if report else set()
+    chain_broken = bool(report and report.chain_broken)
+    lost, excused = [], []
+    for lba, payload in sorted(acked.items()):
+        if data2.store.read_sector(lba) == payload:
+            continue
+        if (0, lba) in dropped or chain_broken:
+            excused.append(lba)
+            continue
+        lost.append(lba)
+    assert not lost, (
+        f"seed {seed}: acked sectors {lost} lost without a report "
+        f"(dropped={sorted(dropped)}, chain_broken={chain_broken})")
+    return ("mounted", sorted(acked), sorted(excused),
+            sorted(dropped), chain_broken,
+            None if report is None else report.records_found)
+
+
+class TestCrashFaultFuzz:
+    @pytest.mark.parametrize("seed", list(range(20)))
+    def test_no_silent_loss_under_random_faults(self, seed):
+        run_crash_fault_schedule(seed)
+
+    def test_same_seed_same_outcome(self):
+        assert (run_crash_fault_schedule(1234)
+                == run_crash_fault_schedule(1234))
