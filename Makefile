@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf perf-smoke profile
+.PHONY: test bench perf perf-smoke profile lint typecheck
 
 # Tier-1: the full unit/property/integration suite (includes perf-smoke).
 test:
@@ -19,6 +19,22 @@ perf:
 # Fast perf sanity (< 30 s, part of tier-1): scenarios run, schema holds.
 perf-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/perf -q
+
+# Repo-native static analysis (docs/STATIC_ANALYSIS.md): determinism,
+# error-taxonomy, and on-disk-format lint rules over src/ and tests/.
+lint:
+	PYTHONPATH=tools $(PYTHON) -m trailint src tests
+
+# Strict typing over the paper-critical packages (mypy.ini).  mypy is a
+# CI dependency, not a vendored one: when it is absent locally the
+# target says so and succeeds; CI installs it and the job is blocking.
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		$(PYTHON) -m mypy --config-file mypy.ini \
+			-p repro.core -p repro.disk -p repro.sim -p repro.faults; \
+	else \
+		echo "typecheck: mypy not installed; skipping (CI runs it)"; \
+	fi
 
 # Usage: make profile SCENARIO=kernel-churn
 SCENARIO ?= kernel-churn

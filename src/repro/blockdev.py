@@ -14,7 +14,7 @@ import abc
 from typing import Dict
 
 from repro.disk.drive import DiskDrive
-from repro.sim import Event, Simulation
+from repro.sim import Event, ProcessGenerator, Simulation
 
 
 class BlockDevice(abc.ABC):
@@ -46,7 +46,7 @@ class BlockDevice(abc.ABC):
         """Read ``nsectors`` from ``lba`` of data disk ``disk_id``."""
 
     @abc.abstractmethod
-    def flush(self):
+    def flush(self) -> ProcessGenerator:
         """Generator: wait until all internal buffers are on disk."""
 
     @property

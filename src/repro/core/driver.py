@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Generator, List, Optional, Tuple
+from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
 
 from repro.blockdev import BlockDevice
 from repro.core.allocator import TrackAllocator
@@ -34,8 +34,8 @@ from repro.disk.controller import PRIORITY_READ
 from repro.disk.drive import DiskDrive
 from repro.disk.geometry import DiskGeometry
 from repro.errors import (
-    DiskHaltedError, LogDiskFullError, MediaError, NotATrailDiskError,
-    TrailError)
+    DiskHaltedError, LogDiskFullError, LogFormatError, MediaError,
+    NotATrailDiskError, TrailError)
 from repro.sim import (
     Event, Interrupt, LatencyRecorder, Process, Simulation, Store)
 
@@ -188,7 +188,7 @@ class TrailDriver(BlockDevice):
             log_drive.store.write_sector(lba, header)
             log_drive.store.write_sector(lba + 1, geometry_sector)
 
-    def mount(self) -> Generator:
+    def mount(self) -> Generator[Event, Any, Optional[RecoveryReport]]:
         """Bring the driver online; run as a sim process.
 
         Reads the log-disk header, runs crash recovery if the previous
@@ -208,7 +208,7 @@ class TrailDriver(BlockDevice):
             header = decode_disk_header(result.data[:geometry.sector_size])
             stored_geometry = decode_geometry(
                 result.data[geometry.sector_size:])
-        except Exception as exc:
+        except LogFormatError as exc:
             raise NotATrailDiskError(
                 f"log disk is not Trail-formatted: {exc}") from exc
         if stored_geometry.total_sectors != geometry.total_sectors:
@@ -228,9 +228,9 @@ class TrailDriver(BlockDevice):
         self.epoch = header.epoch + 1
         yield from self._write_headers(crash_var=0)
 
-        self.allocator = TrackAllocator(self.geometry, self._usable_tracks)
+        self.allocator = TrackAllocator(stored_geometry, self._usable_tracks)
         self.predictor = HeadPositionPredictor(
-            self.geometry,
+            stored_geometry,
             rotation_ms=self.log_drive.rotation.rotation_ms,
             delta_sectors=self._default_delta())
         self._next_sequence = 0
@@ -257,19 +257,23 @@ class TrailDriver(BlockDevice):
         formula, plus the configured slack — seeds the predictor so a
         driver is usable without a calibration pass.
         """
-        outer_spt = max(zone.sectors_per_track for zone in self.geometry.zones)
+        geometry = self.geometry
+        assert geometry is not None
+        outer_spt = max(zone.sectors_per_track for zone in geometry.zones)
         sector_time = self.log_drive.rotation.rotation_ms / outer_spt
         overhead_sectors = int(self.log_drive.command_overhead_ms
                                / sector_time) + 1
         return overhead_sectors + 1 + self.config.delta_slack_sectors
 
-    def _write_headers(self, crash_var: int) -> Generator:
+    def _write_headers(self, crash_var: int) -> Generator[Event, Any, None]:
         """Persist the global header (and replicas) with ``crash_var``."""
+        geometry = self.geometry
+        epoch = self.epoch
+        assert geometry is not None and epoch is not None
         sector = encode_disk_header(
-            LogDiskHeader(epoch=self.epoch, crash_var=crash_var),
-            self.geometry.sector_size)
-        geometry_sector = encode_geometry(self.geometry,
-                                          self.geometry.sector_size)
+            LogDiskHeader(epoch=epoch, crash_var=crash_var),
+            geometry.sector_size)
+        geometry_sector = encode_geometry(geometry, geometry.sector_size)
         for lba in self._header_lbas:
             yield self.log_drive.write(lba, sector + geometry_sector)
 
@@ -327,7 +331,7 @@ class TrailDriver(BlockDevice):
             name=f"trail-read@{lba}")
 
     def _read_through(self, disk: DiskDrive, disk_id: int,
-                      lba: int, nsectors: int) -> Generator:
+                      lba: int, nsectors: int) -> Generator[Event, Any, bytes]:
         result = yield disk.read(lba, nsectors, priority=PRIORITY_READ)
         data = bytearray(result.data)
         sector_size = self.sector_size
@@ -348,7 +352,7 @@ class TrailDriver(BlockDevice):
         goes synchronously to its data disk (write-through mode)."""
         return self._degraded
 
-    def flush(self) -> Generator:
+    def flush(self) -> Generator[Event, Any, None]:
         """Wait until every acknowledged write reached its data disk.
 
         Event-driven: each waiter parks on an event that the log writer
@@ -384,7 +388,7 @@ class TrailDriver(BlockDevice):
                     event.succeed()
         self._notify_idle()
 
-    def clean_shutdown(self) -> Generator:
+    def clean_shutdown(self) -> Generator[Event, Any, None]:
         """Flush everything and mark the log disk clean (§3.3).
 
         The clean marker is withheld when the log disk is degraded (it
@@ -439,7 +443,7 @@ class TrailDriver(BlockDevice):
     # ------------------------------------------------------------------
     # Log-writer process (§4.2)
 
-    def _log_writer(self) -> Generator:
+    def _log_writer(self) -> Generator[Event, Any, None]:
         try:
             while True:
                 first = yield self._log_queue.get()
@@ -465,16 +469,21 @@ class TrailDriver(BlockDevice):
             self._writer_busy = False
             return
 
-    def _write_record(self, pending: Deque[_PendingWrite]) -> Generator:
+    def _write_record(
+        self, pending: Deque[_PendingWrite],
+    ) -> Generator[Event, Any, None]:
         """Assemble one write record from ``pending`` and put it on disk."""
+        allocator = self.allocator
+        predictor = self.predictor
+        assert allocator is not None and predictor is not None
         # Ensure the current track can hold a header plus >= 1 payload
         # sector; otherwise move on (writes pay the switch themselves).
-        while (self.allocator.largest_free_run() < 2
-               or self.allocator.utilization() >= 1.0):
+        while (allocator.largest_free_run() < 2
+               or allocator.utilization() >= 1.0):
             yield from self._advance_track()
 
         capacity = min(self.config.max_batch_sectors,
-                       self.allocator.largest_free_run() - 1)
+                       allocator.largest_free_run() - 1)
         spans: List[Tuple[_PendingWrite, int, int]] = []
         total = 0
         while pending and total < capacity:
@@ -486,15 +495,15 @@ class TrailDriver(BlockDevice):
             if request.assigned == request.nsectors:
                 pending.popleft()
 
-        track = self.allocator.current_track
-        predicted = self.predictor.predict_sector(
+        track = allocator.current_track
+        predicted = predictor.predict_sector(
             self.sim.now + self._pending_move_ms(track), track)
-        start_sector = self.allocator.place(predicted, 1 + total)
+        start_sector = allocator.place(predicted, 1 + total)
         if start_sector is None:
             yield from self._advance_track()
             yield from self._write_record_spans(spans, pending)
             return
-        header_lba = self.allocator.commit_placement(start_sector, 1 + total)
+        header_lba = allocator.commit_placement(start_sector, 1 + total)
         yield from self._emit_record(header_lba, track, spans, total, pending)
         if not self._degraded:
             yield from self._after_record(pending)
@@ -503,23 +512,30 @@ class TrailDriver(BlockDevice):
         self,
         spans: List[Tuple[_PendingWrite, int, int]],
         pending: Deque[_PendingWrite],
-    ) -> Generator:
+    ) -> Generator[Event, Any, None]:
         """Place already-chosen spans on the (fresh) current track."""
+        allocator = self.allocator
+        predictor = self.predictor
+        geometry = self.geometry
+        assert (allocator is not None and predictor is not None
+                and geometry is not None)
         total = sum(count for _request, _offset, count in spans)
-        track = self.allocator.current_track
-        predicted = self.predictor.predict_sector(
+        track = allocator.current_track
+        predicted = predictor.predict_sector(
             self.sim.now + self._pending_move_ms(track), track)
-        start_sector = self.allocator.place(predicted, 1 + total)
+        start_sector = allocator.place(predicted, 1 + total)
         if start_sector is None:
             raise TrailError(
                 f"record of {1 + total} sectors does not fit an empty "
-                f"track of {self.geometry.track_sectors(track)}")
-        header_lba = self.allocator.commit_placement(start_sector, 1 + total)
+                f"track of {geometry.track_sectors(track)}")
+        header_lba = allocator.commit_placement(start_sector, 1 + total)
         yield from self._emit_record(header_lba, track, spans, total, pending)
         if not self._degraded:
             yield from self._after_record(pending)
 
-    def _after_record(self, pending: Deque[_PendingWrite]) -> Generator:
+    def _after_record(
+        self, pending: Deque[_PendingWrite],
+    ) -> Generator[Event, Any, None]:
         """Post-record track maintenance (§4.2's interrupt handler).
 
         Past the utilization threshold the tail advances to the next
@@ -527,7 +543,9 @@ class TrailDriver(BlockDevice):
         request is waiting — a queued request's own write moves the
         head, so the read would be pure added latency.
         """
-        if (self.allocator.utilization()
+        allocator = self.allocator
+        assert allocator is not None
+        if (allocator.utilization()
                 < self.config.track_utilization_threshold):
             return
         yield from self._advance_track()
@@ -541,7 +559,10 @@ class TrailDriver(BlockDevice):
         spans: List[Tuple[_PendingWrite, int, int]],
         total: int,
         pending: Deque[_PendingWrite],
-    ) -> Generator:
+    ) -> Generator[Event, Any, None]:
+        predictor = self.predictor
+        epoch = self.epoch
+        assert predictor is not None and epoch is not None
         sector_size = self.sector_size
         sequence = self._next_sequence
         self._next_sequence += 1
@@ -570,7 +591,7 @@ class TrailDriver(BlockDevice):
                 index += 1
 
         header = RecordHeader(
-            epoch=self.epoch, sequence_id=sequence,
+            epoch=epoch, sequence_id=sequence,
             prev_sect=self._last_record_lba, log_head=log_head,
             entries=tuple(entries))
         blob = b"".join(encode_record(header, payload_sectors, sector_size))
@@ -585,8 +606,8 @@ class TrailDriver(BlockDevice):
 
         self._last_record_lba = header_lba
         self._physical_track = track
-        self.predictor.set_reference(self.sim.now, header_lba + total)
-        self.predictor.realized_rotation.record(result.rotation_ms)
+        predictor.set_reference(self.sim.now, header_lba + total)
+        predictor.realized_rotation.record(result.rotation_ms)
         self.stats.physical_log_writes += 1
         self.stats.batch_sizes.record(total)
         self._last_activity = self.sim.now
@@ -613,7 +634,7 @@ class TrailDriver(BlockDevice):
         exc: MediaError,
         spans: List[Tuple[_PendingWrite, int, int]],
         pending: Deque[_PendingWrite],
-    ) -> Generator:
+    ) -> Generator[Event, Any, None]:
         """A log write exhausted the drive's retries and spares.
 
         With degraded mode enabled the driver abandons the log disk and
@@ -643,7 +664,7 @@ class TrailDriver(BlockDevice):
         yield from self._enter_degraded()
         yield from self._write_through(requests)
 
-    def _enter_degraded(self) -> Generator:
+    def _enter_degraded(self) -> Generator[Event, Any, None]:
         """Flip to synchronous write-through mode.
 
         Order matters for crash safety: first let the write-back
@@ -667,7 +688,9 @@ class TrailDriver(BlockDevice):
             except MediaError:
                 self.stats.log_media_errors += 1
 
-    def _write_through(self, requests: List[_PendingWrite]) -> Generator:
+    def _write_through(
+        self, requests: List[_PendingWrite],
+    ) -> Generator[Event, Any, None]:
         """Service requests synchronously against their data disks."""
         for request in requests:
             disk = self._data_disk(request.disk_id)
@@ -691,49 +714,63 @@ class TrailDriver(BlockDevice):
 
     def _pending_move_ms(self, target_track: int) -> float:
         """Estimated head-move time the next command will pay."""
-        if self._physical_track is None or self._physical_track == target_track:
+        physical = self._physical_track
+        if physical is None or physical == target_track:
             return 0.0
-        from_cyl, from_head = self.geometry.track_location(
-            self._physical_track)
-        to_cyl, to_head = self.geometry.track_location(target_track)
+        geometry = self.geometry
+        assert geometry is not None
+        from_cyl, from_head = geometry.track_location(physical)
+        to_cyl, to_head = geometry.track_location(target_track)
         return self.log_drive.seek.reposition_time(
             from_cyl, from_head, to_cyl, to_head)
 
-    def _advance_track(self) -> Generator:
+    def _advance_track(self) -> Generator[Event, Any, None]:
         """Move the tail to the next free track, waiting if the log is full."""
+        allocator = self.allocator
+        assert allocator is not None
         while True:
             try:
-                self.allocator.advance()
+                allocator.advance()
                 return
             except LogDiskFullError:
                 self.stats.log_full_stalls += 1
                 self._track_freed = self.sim.event()
                 yield self._track_freed
 
-    def _reposition_read(self) -> Generator:
+    def _reposition_read(self) -> Generator[Event, Any, None]:
         """Park the head on the new track with an explicit read (§4.2).
 
         A media error here is swallowed: repositioning is purely a
         latency optimization, so a bad anchor sector only costs
         prediction accuracy, never correctness.
         """
-        track = self.allocator.current_track
-        target_sector = self.predictor.predict_sector(
+        allocator = self.allocator
+        predictor = self.predictor
+        geometry = self.geometry
+        assert (allocator is not None and predictor is not None
+                and geometry is not None)
+        track = allocator.current_track
+        target_sector = predictor.predict_sector(
             self.sim.now + self._pending_move_ms(track), track)
-        target_lba = self.geometry.track_first_lba(track) + target_sector
+        target_lba = geometry.track_first_lba(track) + target_sector
         try:
             yield self.log_drive.read(target_lba, 1)
         except MediaError:
             return
         self._physical_track = track
-        self.predictor.set_reference(self.sim.now, target_lba)
+        predictor.set_reference(self.sim.now, target_lba)
         self.stats.repositions += 1
         self._last_activity = self.sim.now
 
-    def _anchor_reference(self) -> Generator:
+    def _anchor_reference(self) -> Generator[Event, Any, None]:
         """Initial anchor: read one sector of the current track."""
-        track = self.allocator.current_track
-        anchor_lba = self.geometry.track_first_lba(track)
+        allocator = self.allocator
+        predictor = self.predictor
+        geometry = self.geometry
+        assert (allocator is not None and predictor is not None
+                and geometry is not None)
+        track = allocator.current_track
+        anchor_lba = geometry.track_first_lba(track)
         try:
             yield self.log_drive.read(anchor_lba, 1)
         except MediaError:
@@ -741,9 +778,9 @@ class TrailDriver(BlockDevice):
             # the first real write re-anchors it precisely.
             pass
         self._physical_track = track
-        self.predictor.set_reference(self.sim.now, anchor_lba)
+        predictor.set_reference(self.sim.now, anchor_lba)
 
-    def _idle_repositioner(self) -> Generator:
+    def _idle_repositioner(self) -> Generator[Event, Any, None]:
         """Periodically re-anchor the prediction reference (§3.1).
 
         Rotation-speed drift makes predictions stale during long idle
@@ -752,6 +789,11 @@ class TrailDriver(BlockDevice):
         cost is invisible to foreground writes.
         """
         interval = self.config.idle_reposition_interval_ms
+        allocator = self.allocator
+        predictor = self.predictor
+        geometry = self.geometry
+        assert (allocator is not None and predictor is not None
+                and geometry is not None)
         try:
             while True:
                 yield self.sim.timeout(interval)
@@ -760,17 +802,17 @@ class TrailDriver(BlockDevice):
                 if (self._writer_busy or len(self._log_queue) > 0
                         or self.sim.now - self._last_activity < interval):
                     continue
-                track = self.allocator.current_track
-                target_sector = self.predictor.predict_sector(
+                track = allocator.current_track
+                target_sector = predictor.predict_sector(
                     self.sim.now + self._pending_move_ms(track), track)
-                target_lba = (self.geometry.track_first_lba(track)
+                target_lba = (geometry.track_first_lba(track)
                               + target_sector)
                 try:
                     yield self.log_drive.read(target_lba, 1)
                 except MediaError:
                     continue
                 self._physical_track = track
-                self.predictor.set_reference(self.sim.now, target_lba)
+                predictor.set_reference(self.sim.now, target_lba)
                 self.stats.repositions += 1
                 self._last_activity = self.sim.now
         except (Interrupt, DiskHaltedError):
@@ -781,7 +823,9 @@ class TrailDriver(BlockDevice):
 
     def _on_record_released(self, record: LiveRecord) -> None:
         """A record's pages all committed: free its log-disk space."""
-        self.allocator.record_released(record.track)
+        allocator = self.allocator
+        assert allocator is not None
+        allocator.record_released(record.track)
         self._live_records.pop(record.sequence_id, None)
         if self._track_freed is not None and not self._track_freed.triggered:
             self._track_freed.succeed()

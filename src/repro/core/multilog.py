@@ -21,7 +21,7 @@ distinct pages hash to different stripes.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence
 
 from repro.blockdev import BlockDevice
 from repro.core.config import TrailConfig
@@ -61,7 +61,9 @@ class StripedTrailDriver(BlockDevice):
         for log_drive in log_drives:
             TrailDriver.format_disk(log_drive, config)
 
-    def mount(self) -> Generator:
+    def mount(
+        self,
+    ) -> Generator[Event, Any, List[Optional[RecoveryReport]]]:
         """Mount every stripe; returns the recovery reports (per
         stripe, None where no recovery was needed)."""
         reports: List[Optional[RecoveryReport]] = []
@@ -96,12 +98,12 @@ class StripedTrailDriver(BlockDevice):
         return self._stripe_of(disk_id, lba).read(lba, nsectors,
                                                   disk_id=disk_id)
 
-    def flush(self) -> Generator:
+    def flush(self) -> Generator[Event, Any, None]:
         """Wait until every stripe is quiescent."""
         for stripe in self.stripes:
             yield from stripe.flush()
 
-    def clean_shutdown(self) -> Generator:
+    def clean_shutdown(self) -> Generator[Event, Any, None]:
         """Flush and cleanly unmount every stripe."""
         for stripe in self.stripes:
             yield from stripe.clean_shutdown()

@@ -23,12 +23,12 @@ is what the periodic idle repositioning exists to fix.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional
+from typing import Any, Generator, List, Optional
 
 from repro.disk.drive import DiskDrive
 from repro.disk.geometry import DiskGeometry
 from repro.errors import TrailError
-from repro.sim import LatencyRecorder, Simulation
+from repro.sim import Event, LatencyRecorder, Simulation
 
 
 @dataclass
@@ -123,7 +123,7 @@ class HeadPositionPredictor:
         max_delta: Optional[int] = None,
         samples_per_delta: int = 3,
         consecutive_required: int = 2,
-    ) -> Generator:
+    ) -> Generator[Event, Any, CalibrationResult]:
         """Measure δ against a real (simulated) drive — run as a process.
 
         Reproduces the paper's procedure: anchor a reference with a

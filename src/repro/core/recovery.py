@@ -35,7 +35,7 @@ unreadable or corrupt) is therefore always visible to the caller.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.core.config import TrailConfig
 from repro.core.format import (
@@ -44,7 +44,7 @@ from repro.core.format import (
 from repro.disk.drive import DiskDrive
 from repro.disk.geometry import DiskGeometry
 from repro.errors import LogFormatError, MediaError, RecoveryError
-from repro.sim import Simulation
+from repro.sim import Event, Simulation
 
 
 @dataclass
@@ -128,7 +128,7 @@ class RecoveryManager:
         self._track_cache: Dict[int, Optional[LocatedRecord]] = {}
         self._report = RecoveryReport()
 
-    def run(self) -> Generator:
+    def run(self) -> Generator[Event, Any, RecoveryReport]:
         """Full recovery; yields disk I/O, returns a RecoveryReport."""
         report = self._report
         start = self.sim.now
@@ -158,12 +158,14 @@ class RecoveryManager:
     # ------------------------------------------------------------------
     # Step 1: locate the youngest active record
 
-    def _locate(self) -> Generator:
+    def _locate(self) -> Generator[Event, Any, Optional[LocatedRecord]]:
         if self.config.binary_search_recovery:
             return (yield from self._locate_binary())
         return (yield from self._locate_sequential())
 
-    def _locate_sequential(self) -> Generator:
+    def _locate_sequential(
+        self,
+    ) -> Generator[Event, Any, Optional[LocatedRecord]]:
         """Scan every track; baseline for the binary-search ablation."""
         youngest: Optional[LocatedRecord] = None
         for position in range(len(self.usable_tracks)):
@@ -175,7 +177,9 @@ class RecoveryManager:
                 youngest = candidate
         return youngest
 
-    def _locate_binary(self) -> Generator:
+    def _locate_binary(
+        self,
+    ) -> Generator[Event, Any, Optional[LocatedRecord]]:
         """O(lg N) track scans via the rotated-order property.
 
         Writes fill usable tracks in a fixed circular order starting at
@@ -205,7 +209,9 @@ class RecoveryManager:
                 high = mid - 1
         return (yield from self._scan_position(low))
 
-    def _scan_position(self, position: int) -> Generator:
+    def _scan_position(
+        self, position: int,
+    ) -> Generator[Event, Any, Optional[LocatedRecord]]:
         """Read one track and return its youngest current-epoch record.
 
         A track read that fails with a media error falls back to
@@ -249,7 +255,9 @@ class RecoveryManager:
         self._track_cache[track] = youngest
         return youngest
 
-    def _discard_torn(self, located: Optional[LocatedRecord]) -> Generator:
+    def _discard_torn(
+        self, located: Optional[LocatedRecord],
+    ) -> Generator[Event, Any, Optional[LocatedRecord]]:
         """Drop the youngest record if the crash tore it.
 
         Log writes are strictly sequential (one physical command at a
@@ -304,7 +312,9 @@ class RecoveryManager:
     # ------------------------------------------------------------------
     # Step 2: rebuild the pending chain
 
-    def _rebuild(self, youngest: LocatedRecord) -> Generator:
+    def _rebuild(
+        self, youngest: LocatedRecord,
+    ) -> Generator[Event, Any, List[LocatedRecord]]:
         """Walk prev_sect back to the log_head bound; oldest first."""
         bound = (youngest.header.log_head
                  if self.config.log_head_bound_enabled else NULL_LBA)
@@ -361,7 +371,9 @@ class RecoveryManager:
     # ------------------------------------------------------------------
     # Step 3: write pending records back to the data disks
 
-    def replay(self, chain: Sequence[LocatedRecord]) -> Generator:
+    def replay(
+        self, chain: Sequence[LocatedRecord],
+    ) -> Generator[Event, Any, None]:
         """Propagate pending records to the data disks in issue order.
 
         Public so that a caller who deferred the write-back step

@@ -18,13 +18,13 @@ or wedging the drain loop.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Generator, Optional
 
 from repro.core.buffer import BufferManager, PageKey, PendingPage
 from repro.disk.controller import PRIORITY_READ, PRIORITY_WRITE
 from repro.disk.drive import DiskDrive
 from repro.errors import DiskHaltedError, MediaError, TrailError
-from repro.sim import Process, Simulation, Store
+from repro.sim import Event, Interrupt, Process, Simulation, Store
 
 
 class WritebackScheduler:
@@ -100,8 +100,7 @@ class WritebackScheduler:
 
     # ------------------------------------------------------------------
 
-    def _run(self):
-        from repro.sim import Interrupt
+    def _run(self) -> Generator[Event, Any, None]:
         try:
             while True:
                 page = yield self.queue.get()
@@ -139,7 +138,7 @@ class WritebackScheduler:
             return
 
     def _write_with_retries(self, disk: DiskDrive, page: PendingPage,
-                            data: bytes):
+                            data: bytes) -> Generator[Event, Any, bool]:
         """One write-back with bounded backoff retries and relocation.
 
         Returns True once the write reaches the platter, False when the

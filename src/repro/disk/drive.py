@@ -33,7 +33,8 @@ is byte- and event-identical to the fault-free drive.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Set, Union
+from typing import (
+    Any, Generator, List, Optional, Set, TYPE_CHECKING, Union)
 
 from repro.errors import DiskHaltedError, UnrecoverableSectorError
 from repro.disk.controller import (
@@ -42,7 +43,11 @@ from repro.disk.geometry import DiskGeometry
 from repro.disk.mechanics import RotationModel, SeekModel
 from repro.disk.sectors import SectorStore
 from repro.faults.plan import FaultInjector, FaultPlan
-from repro.sim import Interrupt, PriorityResource, Process, Simulation
+from repro.sim import (
+    Event, Interrupt, PriorityResource, Process, Resource, Simulation)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.disk.scheduler import ElevatorResource
 
 
 class DiskDrive:
@@ -69,12 +74,15 @@ class DiskDrive:
         self.name = name
         self.stats = DriveStats()
         self.scheduling = scheduling
+        self._queue: Resource
+        self._elevator: Optional["ElevatorResource"] = None
         if scheduling == "priority":
             self._queue = PriorityResource(sim, capacity=1)
         elif scheduling == "elevator":
             from repro.disk.scheduler import ElevatorResource
-            self._queue = ElevatorResource(
+            self._elevator = ElevatorResource(
                 sim, head_cylinder=lambda: self._position_cylinder)
+            self._queue = self._elevator
         else:
             raise ValueError(
                 f"unknown scheduling discipline {scheduling!r}")
@@ -210,11 +218,12 @@ class DiskDrive:
     # Service loop
 
     def _service(self, op: Op, lba: int, nsectors: int,
-                 data: Optional[bytes], priority: int):
+                 data: Optional[bytes], priority: int,
+                 ) -> Generator[Event, Any, IoResult]:
         enqueued_at = self.sim.now
-        if self.scheduling == "elevator":
+        if self._elevator is not None:
             target_cylinder, _head, _sector = self.geometry.lba_to_chs(lba)
-            request = self._queue.request_at(target_cylinder, priority)
+            request = self._elevator.request_at(target_cylinder, priority)
         else:
             request = self._queue.request(priority)
         try:
@@ -315,7 +324,8 @@ class DiskDrive:
             self._queue.release(request)
 
     def _service_segment_faulty(self, op: Op, segment: _Segment,
-                                lba: int, data: Optional[bytes]):
+                                lba: int, data: Optional[bytes],
+                                ) -> Generator[Event, Any, None]:
         """Fault-aware tail of one segment's service (injector attached).
 
         Runs after the nominal transfer time has elapsed.  Each sector
@@ -329,6 +339,7 @@ class DiskDrive:
         command.  Write data may be silently bit-flipped as it lands.
         """
         faults = self.faults
+        assert faults is not None  # only called with an injector attached
         stats = self.stats
         retry_limit = faults.plan.retry_limit
         revolution = self.rotation.rotation_ms

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import AddressError, GeometryError
 from repro.units import SECTOR_SIZE
@@ -48,7 +48,7 @@ class CHS:
     head: int
     sector: int
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter((self.cylinder, self.head, self.sector))
 
 
@@ -105,7 +105,7 @@ class DiskGeometry:
         #: Memoized (cylinder, head, sectors-per-track, first LBA) per
         #: track index — the drive's per-segment service loop hits the
         #: same few tracks over and over.
-        self._track_info: dict = {}
+        self._track_info: Dict[int, Tuple[int, int, int, int]] = {}
 
     # ------------------------------------------------------------------
     # Zone lookups

@@ -18,7 +18,7 @@ periodically re-anchor its prediction reference point).
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Callable, Dict, Optional
 
 from repro.errors import GeometryError
 from repro.units import rpm_to_rotation_ms
@@ -60,7 +60,7 @@ class SeekModel:
         #: Memoized seek times by cylinder distance: the fitted curve is
         #: a pure function of distance and a workload revisits the same
         #: few distances (track-to-track, repositioning hops) constantly.
-        self._seek_cache: dict = {}
+        self._seek_cache: Dict[int, float] = {}
 
     def _fit_curve(self) -> None:
         """Solve t(d) = a + b*sqrt(d) + c*d through the three known points.
@@ -157,7 +157,7 @@ class RotationModel:
         #: Memoized per-SPT sector times: the per-request service path
         #: recomputes this constant on every transfer otherwise.  (Kept
         #: as the original division so results stay bit-identical.)
-        self._sector_time_cache: dict = {}
+        self._sector_time_cache: Dict[int, float] = {}
 
     @property
     def average_rotational_latency_ms(self) -> float:

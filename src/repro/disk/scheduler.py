@@ -14,7 +14,7 @@ it because its log-disk writes never seek.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.sim import Request, Resource, Simulation
 
@@ -38,7 +38,7 @@ class ElevatorResource(Resource):
     def request_at(self, cylinder: int, priority: int = 0) -> Request:
         """Claim the drive for a command targeting ``cylinder``."""
         request = Request(self, priority)
-        request.cylinder = cylinder  # type: ignore[attr-defined]
+        request.cylinder = cylinder
         self._enqueue(request)
         self._dispatch()
         return request
@@ -69,10 +69,10 @@ class ElevatorResource(Resource):
                       if request.priority == best_priority]
         head = self._head_cylinder()
         ahead = [request for request in candidates
-                 if getattr(request, "cylinder", 0) >= head]
+                 if request.cylinder >= head]
         pool = ahead if ahead else candidates  # C-LOOK wrap
         chosen = min(pool, key=lambda request: (
-            getattr(request, "cylinder", 0), request.enqueued_at))
+            request.cylinder, request.enqueued_at))
         self._waiting.remove(chosen)
         return chosen
 

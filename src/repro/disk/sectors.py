@@ -166,8 +166,8 @@ class SectorStore:
         cache = self._extent_cache
         if cache is None:
             cache = []
-            run_start = None
-            previous = None
+            run_start: Optional[int] = None
+            previous = -2  # only read after run_start is set
             for lba in sorted(self._sectors):
                 if run_start is None:
                     run_start = lba

@@ -7,6 +7,8 @@ mistakes (``TypeError`` etc. propagate unchanged).
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -48,9 +50,9 @@ class MediaError(DiskError):
     """
 
     #: LBA of the failing sector, when known (``None`` otherwise).
-    lba = None
+    lba: Optional[int] = None
 
-    def __init__(self, message: str, lba=None) -> None:
+    def __init__(self, message: str, lba: Optional[int] = None) -> None:
         super().__init__(message)
         self.lba = lba
 

@@ -15,7 +15,7 @@ from ``repro.faults.__init__`` (the drive layer imports
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.core.config import TrailConfig
 from repro.core.driver import TrailDriver
@@ -24,7 +24,7 @@ from repro.disk.drive import DiskDrive
 from repro.disk.presets import tiny_test_disk
 from repro.errors import DiskHaltedError, MediaError, TrailError
 from repro.faults.plan import FaultPlan
-from repro.sim import Simulation
+from repro.sim import Event, Simulation
 
 
 @dataclass
@@ -35,11 +35,11 @@ class ScenarioResult:
     description: str
     #: [drive, transient errs, retries, read errs, write errs,
     #:  remapped, spikes]
-    drive_rows: List[List] = field(default_factory=list)
+    drive_rows: List[List[object]] = field(default_factory=list)
     #: [drive, bad sectors, grown, corrupted, remapped, spares left]
-    injector_rows: List[List] = field(default_factory=list)
+    injector_rows: List[List[object]] = field(default_factory=list)
     #: [metric, value] pairs from the Trail driver itself.
-    driver_rows: List[List] = field(default_factory=list)
+    driver_rows: List[List[object]] = field(default_factory=list)
     recovery: Optional[RecoveryReport] = None
     notes: List[str] = field(default_factory=list)
 
@@ -71,7 +71,8 @@ def _build_testbed(config: Optional[TrailConfig] = None,
 
 
 def _writer(bed: _Testbed, count: int, seed: int, gap_ms: float = 2.0,
-            span: Optional[int] = None):
+            span: Optional[int] = None,
+            ) -> Generator[Event, Any, Tuple[int, int]]:
     """Issue ``count`` seeded single-page writes, tolerating failures."""
     from random import Random
     rng = Random(seed)
@@ -129,7 +130,7 @@ def _scenario_flaky_data_disk(seed: int) -> ScenarioResult:
     """Transient data-disk write errors: retries and spare remapping."""
     result = ScenarioResult(
         name="flaky-data-disk",
-        description=_scenario_flaky_data_disk.__doc__)
+        description=_scenario_flaky_data_disk.__doc__ or "")
     bed = _build_testbed()
     bed.data_drives[0].attach_faults(FaultPlan(
         seed=seed, transient_write_error_prob=0.25,
@@ -150,7 +151,7 @@ def _scenario_dying_log_disk(seed: int) -> ScenarioResult:
     """Unrecoverable log-disk sectors: degrade to write-through."""
     result = ScenarioResult(
         name="dying-log-disk",
-        description=_scenario_dying_log_disk.__doc__)
+        description=_scenario_dying_log_disk.__doc__ or "")
     bed = _build_testbed()
     geometry = bed.log_drive.geometry
     # Every usable log track beyond the first two is unwritable and the
@@ -177,11 +178,11 @@ def _scenario_corrupt_log_crash(seed: int) -> ScenarioResult:
     """Silent log corruption + crash: recovery detects and reports."""
     result = ScenarioResult(
         name="corrupt-log-crash",
-        description=_scenario_corrupt_log_crash.__doc__)
+        description=_scenario_corrupt_log_crash.__doc__ or "")
     bed = _build_testbed()
     bed.log_drive.attach_faults(FaultPlan(seed=seed, corruption_prob=0.10))
 
-    def crasher():
+    def crasher() -> Generator[Event, Any, None]:
         yield bed.sim.timeout(120.0)
         bed.driver.crash()
 
@@ -214,7 +215,7 @@ def _scenario_latency_spikes(seed: int) -> ScenarioResult:
     """Per-command latency spikes: thermal recalibration pauses."""
     result = ScenarioResult(
         name="latency-spikes",
-        description=_scenario_latency_spikes.__doc__)
+        description=_scenario_latency_spikes.__doc__ or "")
     bed = _build_testbed()
     plan = FaultPlan(seed=seed, latency_spike_prob=0.15,
                      latency_spike_ms=25.0)

@@ -8,7 +8,7 @@ queueing, and measurement probes.
 
 from repro.sim.events import Event, Timeout, Condition, all_of, any_of
 from repro.sim.kernel import Simulation
-from repro.sim.process import Interrupt, Process
+from repro.sim.process import Interrupt, Process, ProcessGenerator
 from repro.sim.resources import PriorityResource, Request, Resource, Store
 from repro.sim.monitor import CounterSet, LatencyRecorder, UtilizationTracker
 
@@ -20,6 +20,7 @@ __all__ = [
     "LatencyRecorder",
     "PriorityResource",
     "Process",
+    "ProcessGenerator",
     "Request",
     "Resource",
     "Simulation",

@@ -42,14 +42,15 @@ from __future__ import annotations
 
 from collections import deque
 from heapq import heappop, heappush
-from typing import Any, Deque, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Callable, Deque, List, Optional, Sequence, Tuple, Type)
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, Timeout, Condition, all_of, any_of, _PENDING
 from repro.sim.process import Process, ProcessGenerator
 
-_new_timeout = Timeout.__new__
-_new_event = Event.__new__
+_new_timeout: Callable[[Type[Timeout]], Timeout] = Timeout.__new__
+_new_event: Callable[[Type[Event]], Event] = Event.__new__
 
 
 class Simulation:

@@ -8,7 +8,10 @@ storing full traces unless asked, so long TPC-C runs stay cheap.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulation
 
 
 class LatencyRecorder:
@@ -136,7 +139,8 @@ class UtilizationTracker:
     """Time-weighted average of a piecewise-constant level (queue depth,
     busy/idle state) over simulated time."""
 
-    def __init__(self, sim, initial_level: float = 0.0) -> None:
+    def __init__(self, sim: "Simulation",
+                 initial_level: float = 0.0) -> None:
         self._sim = sim
         self._level = initial_level
         self._last_change = sim.now

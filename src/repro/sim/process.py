@@ -20,7 +20,7 @@ identical to the property-based implementation.
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional, TYPE_CHECKING
+from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
 from repro.sim.events import Event, _PENDING
@@ -59,10 +59,10 @@ class Process(Event):
             raise SimulationError(
                 f"process requires a generator, got {type(generator).__name__}")
         super().__init__(sim)
-        self._generator = generator
+        self._generator: Optional[ProcessGenerator] = generator
         self._waiting_on: Optional[Event] = None
-        self._bound_resume = self._resume
-        self.name = name or getattr(generator, "__name__", "process")
+        self._bound_resume: Optional[Callable[[Event], None]] = self._resume
+        self.name: str = name or getattr(generator, "__name__", "process")
         # Kick off the generator at the current simulation time via an
         # immediately-triggered initialization event.
         init = Event(sim)
@@ -125,15 +125,18 @@ class Process(Event):
             return
         self._waiting_on = None
         sim = self.sim
+        generator = self._generator
+        bound = self._bound_resume
+        assert generator is not None and bound is not None
         sim._active_process = self
         try:
             if event._exception is None:
                 value = event._value
-                target = self._generator.send(
+                target = generator.send(
                     value if value is not _PENDING else None)
             else:
                 event._defused = True
-                target = self._generator.throw(event._exception)
+                target = generator.throw(event._exception)
         except StopIteration as stop:
             sim._active_process = None
             self._finish(stop)
@@ -151,11 +154,11 @@ class Process(Event):
                 and not target._processed):
             self._waiting_on = target
             if target._cb1 is None:
-                target._cb1 = self._bound_resume
+                target._cb1 = bound
             elif target._callbacks is None:
-                target._callbacks = [self._bound_resume]
+                target._callbacks = [bound]
             else:
-                target._callbacks.append(self._bound_resume)
+                target._callbacks.append(bound)
             return
         self._wait_on(target)
 
@@ -165,9 +168,11 @@ class Process(Event):
             # The process finished between the interrupt call and its
             # delivery (same-timestamp race); nothing to deliver to.
             return
+        generator = self._generator
+        assert generator is not None
         self.sim._active_process = self
         try:
-            target = self._generator.throw(exc)
+            target = generator.throw(exc)
         except StopIteration as stop:
             self.sim._active_process = None
             self._finish(stop)
@@ -191,7 +196,9 @@ class Process(Event):
                 f"process {self.name!r} yielded an event from another simulation"))
             return
         self._waiting_on = target
-        target.add_callback(self._bound_resume)
+        bound = self._bound_resume
+        assert bound is not None
+        target.add_callback(bound)
 
     def _fail_or_crash(self, exc: BaseException) -> None:
         """Propagate a generator exception via this process's own event.

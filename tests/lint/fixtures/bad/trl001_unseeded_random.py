@@ -1,0 +1,12 @@
+"""Fixture: process-global / unseeded randomness (TRL001)."""
+
+import random
+from random import Random
+
+
+def pick(items: list) -> object:
+    return random.choice(items)
+
+
+def make_rng() -> Random:
+    return Random()

@@ -1,0 +1,7 @@
+"""Fixture: wall-clock read in simulation code (TRL001)."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()

@@ -1,0 +1,14 @@
+"""Fixture: schedule-visible iteration over unordered views (TRL002)."""
+
+
+def drain(pending: dict) -> list:
+    out = []
+    for item in {3, 1, 2}:
+        out.append(item)
+    for key in pending.keys():
+        out.append(key)
+    return out
+
+
+def best(waiting: dict) -> int:
+    return min(waiting.keys())

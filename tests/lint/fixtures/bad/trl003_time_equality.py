@@ -1,0 +1,9 @@
+"""Fixture: exact equality on simulated-time floats (TRL003)."""
+
+
+def expired(now: float, deadline: float) -> bool:
+    return now == deadline
+
+
+def not_yet(sim: object, wakeup_ms: float) -> bool:
+    return sim.now != wakeup_ms

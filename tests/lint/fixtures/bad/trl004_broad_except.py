@@ -1,0 +1,15 @@
+"""Fixture: broad except swallowing the error taxonomy (TRL004)."""
+
+
+def swallow(action) -> object:
+    try:
+        return action()
+    except Exception:
+        return None
+
+
+def swallow_bare(action) -> object:
+    try:
+        return action()
+    except:  # noqa: E722
+        return None

@@ -1,0 +1,4 @@
+"""Fixture: header marker bytes built outside core/format.py (TRL006)."""
+
+HEADER = bytes([0xFF, 0, 0, 0])
+MAGIC = b"\xffTRAIL"

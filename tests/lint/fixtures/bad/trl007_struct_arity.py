@@ -1,0 +1,12 @@
+"""Fixture: struct format string vs argument count mismatch (TRL007)."""
+
+import struct
+
+
+def encode(a: int) -> bytes:
+    return struct.pack("<II", a)
+
+
+def decode(blob: bytes):
+    epoch, sequence, crc = struct.unpack("<II", blob)
+    return epoch, sequence, crc

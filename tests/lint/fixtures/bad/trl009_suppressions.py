@@ -1,0 +1,4 @@
+"""Fixture: unused and unknown suppression codes (TRL009)."""
+
+value = 1  # trailint: disable=TRL005
+other = 2  # trailint: disable=TRL099

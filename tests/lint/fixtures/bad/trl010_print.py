@@ -1,0 +1,5 @@
+"""Fixture: stray print in library code (TRL010)."""
+
+
+def report(value: int) -> None:
+    print(value)

@@ -1,0 +1,47 @@
+"""Fixture: near-miss patterns every trailint rule accepts."""
+
+import struct
+from random import Random
+
+from repro.core.format import decode_record_header
+from repro.errors import LogFormatError
+
+
+def jitter(seed: int) -> float:
+    rng = Random(seed)
+    return rng.uniform(0.0, 1.0)
+
+
+def drain(pending: dict) -> list:
+    return [key for key in sorted(pending)]
+
+
+def expired(now: float, deadline: float) -> bool:
+    return now >= deadline
+
+
+def guarded(action):
+    try:
+        return action()
+    except Exception:
+        raise
+
+
+def encode(a: int, b: int) -> bytes:
+    return struct.pack("<II", a, b)
+
+
+def decode(blob: bytes):
+    epoch, sequence = struct.unpack("<II", blob[:8])
+    return epoch, sequence
+
+
+def scan(raw: bytes):
+    try:
+        return decode_record_header(raw)
+    except LogFormatError:
+        return None
+
+
+def is_header(sector: bytes) -> bool:
+    return sector[:1] == b"\xff"

@@ -1,0 +1,7 @@
+"""Fixture: a suppression that matches a real finding is not TRL009."""
+
+import time
+
+
+def wall_clock_probe() -> float:
+    return time.perf_counter()  # trailint: disable=TRL001

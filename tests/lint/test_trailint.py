@@ -1,0 +1,121 @@
+"""The trailint static-analysis pass: rules, suppressions, CLI.
+
+Each known-bad fixture under ``fixtures/bad`` must trip exactly the
+rule its filename names; the ``fixtures/good`` near-misses must stay
+clean; and the real ``src`` + ``tests`` trees must lint clean, since
+``make lint`` is a blocking CI gate.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+TOOLS = REPO / "tools"
+if str(TOOLS) not in sys.path:
+    sys.path.insert(0, str(TOOLS))
+
+from trailint import LintConfig, all_rules, run_paths  # noqa: E402
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD_FIXTURES = sorted((FIXTURES / "bad").glob("*.py"))
+GOOD_FIXTURES = sorted((FIXTURES / "good").glob("*.py"))
+
+ALL_CODES = {f"TRL{n:03d}" for n in range(1, 11)}
+
+
+def lint_one(path: Path):
+    findings, checked = run_paths([str(path)], root=str(REPO))
+    assert checked == 1
+    return findings
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "trailint", *args],
+        cwd=str(REPO), capture_output=True, text=True,
+        env={"PYTHONPATH": "tools", "PATH": "/usr/bin:/bin"})
+
+
+def test_rule_registry_is_complete():
+    assert {rule.code for rule in all_rules()} == ALL_CODES
+
+
+@pytest.mark.parametrize(
+    "fixture", BAD_FIXTURES, ids=[p.stem for p in BAD_FIXTURES])
+def test_bad_fixture_trips_exactly_its_rule(fixture):
+    expected = fixture.stem.split("_")[0].upper()
+    findings = lint_one(fixture)
+    codes = {finding.code for finding in findings}
+    assert codes == {expected}, (
+        f"{fixture.name}: expected only {expected}, got "
+        f"{[f.render() for f in findings]}")
+
+
+@pytest.mark.parametrize(
+    "fixture", GOOD_FIXTURES, ids=[p.stem for p in GOOD_FIXTURES])
+def test_good_fixture_is_clean(fixture):
+    findings = lint_one(fixture)
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_suppression_hygiene_messages():
+    findings = lint_one(FIXTURES / "bad" / "trl009_suppressions.py")
+    messages = sorted(finding.message for finding in findings)
+    assert len(messages) == 2
+    assert "names unknown rule code TRL099" in messages[0]
+    assert "unused suppression: TRL005" in messages[1]
+
+
+def test_narrowed_run_skips_suppression_hygiene():
+    config = LintConfig(select={"TRL001"})
+    findings, _ = run_paths(
+        [str(FIXTURES / "bad" / "trl009_suppressions.py")],
+        root=str(REPO), config=config)
+    assert findings == []
+
+
+def test_fixture_directory_is_excluded_from_walks():
+    # A directory walk over tests/lint must skip the deliberately bad
+    # fixtures; only this test package's own files get linted.
+    findings, checked = run_paths(
+        [str(Path(__file__).parent)], root=str(REPO))
+    assert findings == [], [f.render() for f in findings]
+    assert checked == 3  # __init__, test_trailint, test_typing_sweep
+
+
+def test_repo_tree_is_lint_clean():
+    findings, checked = run_paths(["src", "tests"], root=str(REPO))
+    assert findings == [], [f.render() for f in findings]
+    assert checked > 100
+
+
+def test_cli_exit_codes():
+    clean = run_cli("src")
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    for fixture in BAD_FIXTURES:
+        dirty = run_cli(str(fixture.relative_to(REPO)))
+        assert dirty.returncode == 1, (
+            f"{fixture.name}: {dirty.stdout}{dirty.stderr}")
+    missing = run_cli("no/such/path")
+    assert missing.returncode == 2
+
+
+def test_cli_json_output_shape():
+    fixture = FIXTURES / "bad" / "trl005_mutable_default.py"
+    result = run_cli("--format", "json", str(fixture.relative_to(REPO)))
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert payload["files_checked"] == 1
+    assert payload["counts"] == {"TRL005": 2}
+    for finding in payload["findings"]:
+        assert set(finding) == {"path", "line", "col", "code", "message"}
+        assert finding["code"] == "TRL005"
+
+
+def test_cli_rejects_unknown_rule_code():
+    result = run_cli("--select", "TRL999", "src")
+    assert result.returncode == 2

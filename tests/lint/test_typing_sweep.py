@@ -1,0 +1,119 @@
+"""Mechanical half of the strict-typing gate, runnable without mypy.
+
+``make typecheck`` (mypy --strict over ``repro.core``, ``repro.disk``,
+``repro.sim`` and ``repro.faults``; blocking in CI) is the real check,
+but mypy is an installed tool, not a vendored one.  This test enforces
+the mechanically checkable core of the sweep with nothing but ``ast``:
+every function in the strict packages is fully annotated, and no bare
+``Generator``/``List``/``Dict``-style generics appear in annotations.
+A contributor without mypy therefore still cannot land unannotated
+code in the strict set and first hear about it from CI.
+"""
+
+import ast
+from pathlib import Path
+from typing import List
+
+import pytest
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+STRICT_PACKAGES = ("repro/core", "repro/disk", "repro/sim", "repro/faults")
+STRICT_MODULES = ("repro/errors.py", "repro/units.py", "repro/blockdev.py")
+
+#: Generic aliases that mypy --strict rejects unparameterized
+#: (disallow_any_generics).
+BARE_GENERICS = {
+    "Generator", "List", "Dict", "Set", "FrozenSet", "Tuple", "Deque",
+    "Callable", "Sequence", "Iterator", "Iterable", "Type", "OrderedDict",
+    "Mapping", "MutableMapping", "Awaitable", "Coroutine",
+}
+
+
+def strict_files() -> List[Path]:
+    files: List[Path] = []
+    for package in STRICT_PACKAGES:
+        files.extend(sorted((SRC / package).rglob("*.py")))
+    files.extend(SRC / module for module in STRICT_MODULES)
+    return files
+
+
+def iter_annotations(tree: ast.Module):
+    """Yield (node, where) for every annotation expression in the file."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.returns is not None:
+                yield node.returns, f"return of {node.name}"
+            args = node.args
+            for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                        + [a for a in (args.vararg, args.kwarg) if a]):
+                if arg.annotation is not None:
+                    yield arg.annotation, f"{node.name}({arg.arg})"
+        elif isinstance(node, ast.AnnAssign):
+            yield node.annotation, "annotated assignment"
+
+
+def bare_generic_uses(annotation: ast.expr) -> List[str]:
+    """Names from BARE_GENERICS used unparameterized in ``annotation``."""
+    if isinstance(annotation, ast.Constant) \
+            and isinstance(annotation.value, str):
+        try:
+            annotation = ast.parse(annotation.value, mode="eval").body
+        except SyntaxError:
+            return []
+    found: List[str] = []
+
+    def visit(node: ast.expr, subscripted: bool) -> None:
+        if isinstance(node, ast.Subscript):
+            visit(node.value, True)
+            visit(node.slice, False)
+        elif isinstance(node, ast.Name):
+            if not subscripted and node.id in BARE_GENERICS:
+                found.append(node.id)
+        elif isinstance(node, ast.Attribute):
+            if not subscripted and node.attr in BARE_GENERICS:
+                found.append(node.attr)
+        else:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    visit(child, False)
+
+    visit(annotation, False)
+    return found
+
+
+@pytest.mark.parametrize(
+    "path", strict_files(),
+    ids=lambda p: str(p.relative_to(SRC)))
+def test_strict_file_is_fully_annotated(path):
+    tree = ast.parse(path.read_text())
+    problems: List[str] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.returns is None and node.name != "__init__":
+            problems.append(
+                f"line {node.lineno}: {node.name} has no return annotation")
+        args = node.args
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + [a for a in (args.vararg, args.kwarg) if a]):
+            if arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                problems.append(
+                    f"line {node.lineno}: {node.name}() argument "
+                    f"{arg.arg!r} is unannotated")
+    assert problems == [], "\n".join(problems)
+
+
+@pytest.mark.parametrize(
+    "path", strict_files(),
+    ids=lambda p: str(p.relative_to(SRC)))
+def test_strict_file_has_no_bare_generics(path):
+    tree = ast.parse(path.read_text())
+    problems: List[str] = []
+    for annotation, where in iter_annotations(tree):
+        for name in bare_generic_uses(annotation):
+            problems.append(
+                f"line {annotation.lineno}: bare {name} in {where}")
+    assert problems == [], "\n".join(problems)

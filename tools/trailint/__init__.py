@@ -1,0 +1,46 @@
+"""trailint — repo-native static analysis for the Trail reproduction.
+
+A small AST-based lint engine plus repo-specific rules that enforce
+the three properties the test suite can only check after the fact:
+
+* **Determinism** — no wall-clock reads or shared unseeded RNGs inside
+  the simulation (TRL001), no unordered iteration feeding scheduling
+  decisions (TRL002), no float equality on simulated time (TRL003).
+* **Error-taxonomy discipline** — no broad/bare ``except`` that
+  swallows the ``repro.errors`` hierarchy (TRL004).
+* **Log-format invariants** (paper §3.2) — record-header bytes are
+  built only by ``core/format.py`` (TRL006), ``struct`` format strings
+  agree with their argument counts (TRL007), and decoded records are
+  CRC-verified / format-error-handled on every call path (TRL008).
+
+Run it with ``python -m trailint src tests`` (``make lint``), or
+programmatically::
+
+    from trailint import run_paths
+    findings, files = run_paths(["src"], root="/path/to/repo")
+
+Findings can be suppressed per line with a trailing
+``# trailint: disable=TRL001`` comment, or per file with
+``# trailint: disable-file=TRL001`` on a comment line of its own.
+TRL009 keeps the suppressions themselves honest (unknown or unused
+codes are findings too).
+"""
+
+from trailint.engine import (
+    DEFAULT_EXCLUDE_PATTERNS, Finding, LintConfig, lint_file, run_paths)
+from trailint.registry import Rule, all_rules, get_rule, register
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "DEFAULT_EXCLUDE_PATTERNS",
+    "Finding",
+    "LintConfig",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "register",
+    "run_paths",
+    "__version__",
+]

@@ -1,0 +1,185 @@
+"""Determinism rules: TRL001 (wall clock / unseeded RNG), TRL002
+(unordered iteration feeding scheduling), TRL003 (float equality on
+simulated time).
+
+The whole reproduction hinges on runs being bit-identical given a
+seed: the golden-trace test, the fault-injection schedules and every
+figure in the paper replication assume it.  These rules reject the
+three classic ways Python code breaks that property.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Set, Tuple
+
+from trailint.engine import FileContext, Finding
+from trailint.registry import Rule, dotted_name, register
+
+#: ``time`` module functions that read the host clock.
+_CLOCK_FNS = {
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns",
+    "clock_gettime", "clock_gettime_ns",
+}
+
+#: ``datetime``/``date`` constructors that read the host clock.
+_DATETIME_FNS = {"now", "utcnow", "today"}
+
+#: Module-level ``random`` functions (they share one unseeded,
+#: process-global RNG).
+_RANDOM_FNS = {
+    "random", "randrange", "randint", "choice", "choices", "shuffle",
+    "sample", "uniform", "triangular", "betavariate", "expovariate",
+    "gammavariate", "gauss", "lognormvariate", "normalvariate",
+    "vonmisesvariate", "paretovariate", "weibullvariate",
+    "getrandbits", "randbytes", "seed",
+}
+
+
+@register
+class WallClockRule(Rule):
+    code = "TRL001"
+    name = "no-wall-clock"
+    summary = ("no wall-clock reads (time.*/datetime.now) or shared "
+               "unseeded random in simulation code")
+    scope = ("src/repro/*",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        from_imports = _from_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            message = self._diagnose(dotted, node, from_imports)
+            if message:
+                yield ctx.finding(node, self.code, message)
+
+    def _diagnose(self, dotted: str, node: ast.Call,
+                  from_imports: Set[Tuple[str, str]]) -> str:
+        head, _, tail = dotted.rpartition(".")
+        if head == "time" and tail in _CLOCK_FNS:
+            return (f"wall-clock read {dotted}(): simulation code must "
+                    f"use sim.now")
+        if tail in _DATETIME_FNS and head.split(".")[-1] in (
+                "datetime", "date"):
+            return (f"wall-clock read {dotted}(): simulation code must "
+                    f"use sim.now")
+        if head == "random" and tail in _RANDOM_FNS:
+            return (f"{dotted}() uses the process-global unseeded RNG; "
+                    f"pass a seeded random.Random instance instead")
+        if dotted == "random.Random" or (
+                dotted == "Random" and ("random", "Random") in from_imports):
+            if not node.args and not node.keywords:
+                return ("Random() without a seed is nondeterministic; "
+                        "construct it as Random(seed)")
+        if not head and ("time", dotted) in from_imports \
+                and dotted in _CLOCK_FNS:
+            return (f"wall-clock read {dotted}(): simulation code must "
+                    f"use sim.now")
+        if not head and ("random", dotted) in from_imports \
+                and dotted in _RANDOM_FNS:
+            return (f"{dotted}() uses the process-global unseeded RNG; "
+                    f"pass a seeded random.Random instance instead")
+        return ""
+
+
+def _from_imports(tree: ast.Module) -> Set[Tuple[str, str]]:
+    """(module, local-name) pairs for every ``from x import y``."""
+    pairs: Set[Tuple[str, str]] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                pairs.add((node.module, alias.asname or alias.name))
+    return pairs
+
+
+@register
+class UnorderedIterationRule(Rule):
+    code = "TRL002"
+    name = "no-unordered-scheduling"
+    summary = ("no iteration over sets or dict.keys() in scheduling / "
+               "tie-break code paths")
+    scope = ("src/repro/sim/*", "src/repro/disk/scheduler.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                # min()/max() tie-breaks over an unordered iterable are
+                # just as schedule-visible as a for loop.
+                if dotted_name(node.func) in ("min", "max") and node.args:
+                    iters.append(node.args[0])
+            for it in iters:
+                message = self._unordered(it)
+                if message:
+                    yield ctx.finding(it, self.code, message)
+
+    @staticmethod
+    def _unordered(node: ast.expr) -> str:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return ("iteration over a set literal: set order is "
+                    "hash-dependent; iterate a sorted() or list view")
+        if isinstance(node, ast.Call):
+            dotted = dotted_name(node.func)
+            if dotted in ("set", "frozenset"):
+                return (f"iteration over {dotted}(...): set order is "
+                        f"hash-dependent; iterate a sorted() or list view")
+            if isinstance(node.func, ast.Attribute) \
+                    and node.func.attr == "keys":
+                return (".keys() iteration in scheduling code: iterate "
+                        "the mapping directly (insertion order) or "
+                        "sorted(...) to make the intended order explicit")
+        return ""
+
+
+#: Attribute / variable names that denote simulated-time quantities.
+_TIME_NAMES = {
+    "now", "_now", "sim_now", "deadline", "deadline_ms", "wakeup_ms",
+    "t_now",
+}
+
+
+@register
+class FloatTimeEqualityRule(Rule):
+    code = "TRL003"
+    name = "no-float-time-equality"
+    summary = ("no ==/!= on simulated-time floats; compare with a "
+               "tolerance or use ordering")
+    scope = ("src/repro/*",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            ops = node.ops
+            for index, op in enumerate(ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_none(left) or _is_none(right):
+                    continue
+                if _is_time_expr(left) or _is_time_expr(right):
+                    yield ctx.finding(node, self.code,
+                                      "==/!= on simulated time: floats "
+                                      "accumulate rounding error; use "
+                                      "<=/>= windows or an integer "
+                                      "sequence number")
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _is_time_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr in _TIME_NAMES
+    if isinstance(node, ast.Name):
+        return node.id in _TIME_NAMES
+    return False

@@ -1,0 +1,285 @@
+"""Log-format invariant rules (paper §3.2): TRL006 (header bytes are
+built only by ``core/format.py``), TRL007 (``struct`` format string vs
+argument count), TRL008 (decoded records are CRC-verified).
+
+The self-describing log format works only if every header starts with
+``0xFF``, every payload sector has its first byte masked to ``0x00``,
+and every reader treats a CRC/format mismatch as "not a record".
+These rules keep that logic from leaking out of ``core/format.py`` or
+being consumed unverified.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from trailint.engine import FileContext, Finding
+from trailint.registry import Rule, dotted_name, register
+from trailint.rules.determinism import _from_imports
+
+#: The names whose *construction* is core/format.py's monopoly.
+_MARKER_NAMES = {"HEADER_FIRST_BYTE", "PAYLOAD_FIRST_BYTE"}
+_HEADER_BYTE = 0xFF
+
+_DECODE_FNS = {"decode_record_header", "decode_disk_header",
+               "decode_geometry"}
+_FORMAT_ERROR_NAMES = {"LogFormatError", "TrailError"}
+
+
+def _parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+@register
+class HeaderConstructionRule(Rule):
+    code = "TRL006"
+    name = "format-module-monopoly"
+    summary = ("record-header / marker-byte construction happens only "
+               "in core/format.py")
+    scope = ("src/repro/*",)
+    exempt = ("src/repro/core/format.py",)
+
+    _MESSAGE = ("record-header bytes must be built by the "
+                "core/format.py encode_* helpers, not assembled here")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        parents = _parent_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif (isinstance(node, ast.Constant)
+                    and isinstance(node.value, bytes)
+                    and node.value[:1] == b"\xff"
+                    and not self._in_comparison(node, parents)):
+                yield ctx.finding(
+                    node, self.code,
+                    "bytes literal starting with the 0xFF header "
+                    "marker; " + self._MESSAGE)
+
+    def _check_call(self, ctx: FileContext,
+                    node: ast.Call) -> Iterator[Finding]:
+        dotted = dotted_name(node.func)
+        name = dotted.rpartition(".")[2]
+        if name in ("bytes", "bytearray") and node.args:
+            first = node.args[0]
+            if isinstance(first, (ast.List, ast.Tuple)) and first.elts:
+                head = first.elts[0]
+                if self._is_marker(head):
+                    yield ctx.finding(node, self.code, self._MESSAGE)
+        if dotted in ("struct.pack", "struct.pack_into", "pack",
+                      "pack_into"):
+            for arg in node.args[1:]:
+                if self._is_marker(arg):
+                    yield ctx.finding(node, self.code, self._MESSAGE)
+
+    @staticmethod
+    def _is_marker(node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and node.value == _HEADER_BYTE:
+            return True
+        terminal = dotted_name(node).rpartition(".")[2]
+        return terminal in _MARKER_NAMES
+
+    @staticmethod
+    def _in_comparison(node: ast.AST,
+                       parents: Dict[ast.AST, ast.AST]) -> bool:
+        """Reads (comparisons/membership) of marker bytes are fine."""
+        current: Optional[ast.AST] = node
+        for _ in range(3):
+            current = parents.get(current) if current is not None else None
+            if current is None:
+                return False
+            if isinstance(current, (ast.Compare, ast.Match)):
+                return True
+        return False
+
+
+#: struct format characters that consume one value per repeat count.
+_PER_REPEAT = set("cbB?hHiIlLqQnNefdP")
+_BYTE_ORDER = set("@=<>!")
+
+
+def _struct_arity(fmt: str) -> Optional[int]:
+    """Number of values a literal format string packs, or None when it
+    contains something this parser does not understand."""
+    count = 0
+    repeat = ""
+    for ch in fmt:
+        if ch.isdigit():
+            repeat += ch
+            continue
+        n = int(repeat) if repeat else 1
+        repeat = ""
+        if ch in _BYTE_ORDER or ch.isspace():
+            continue
+        if ch in ("s", "p"):
+            count += 1      # one bytes object regardless of length
+        elif ch == "x":
+            continue        # pad bytes consume nothing
+        elif ch in _PER_REPEAT:
+            count += n
+        else:
+            return None
+    return count
+
+
+@register
+class StructArityRule(Rule):
+    code = "TRL007"
+    name = "struct-format-arity"
+    summary = ("struct.pack/unpack literal format strings must agree "
+               "with their argument / target counts")
+    scope = ()  # everywhere — tests build fixtures with struct too
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imports = _from_imports(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_pack(ctx, node, imports)
+            elif isinstance(node, ast.Assign):
+                yield from self._check_unpack(ctx, node, imports)
+
+    def _check_pack(self, ctx: FileContext, node: ast.Call,
+                    imports: Set) -> Iterator[Finding]:
+        kind = self._struct_call(node, imports,
+                                 ("pack", "pack_into"))
+        if kind is None:
+            return
+        arity = self._literal_arity(node)
+        if arity is None:
+            return
+        skip = 1 if kind == "pack" else 3  # fmt [, buffer, offset]
+        if len(node.args) < skip \
+                or any(isinstance(a, ast.Starred) for a in node.args):
+            return
+        supplied = len(node.args) - skip
+        if supplied != arity:
+            yield ctx.finding(
+                node, self.code,
+                f"struct.{kind} format needs {arity} value(s) but "
+                f"{supplied} supplied")
+
+    def _check_unpack(self, ctx: FileContext, node: ast.Assign,
+                      imports: Set) -> Iterator[Finding]:
+        if not isinstance(node.value, ast.Call):
+            return
+        call = node.value
+        kind = self._struct_call(call, imports,
+                                 ("unpack", "unpack_from"))
+        if kind is None:
+            return
+        arity = self._literal_arity(call)
+        if arity is None or len(node.targets) != 1:
+            return
+        target = node.targets[0]
+        if not isinstance(target, (ast.Tuple, ast.List)):
+            return
+        if any(isinstance(elt, ast.Starred) for elt in target.elts):
+            return
+        if len(target.elts) != arity:
+            yield ctx.finding(
+                node, self.code,
+                f"struct.{kind} format yields {arity} value(s) but "
+                f"{len(target.elts)} target(s) unpack it")
+
+    @staticmethod
+    def _struct_call(node: ast.Call, imports: Set,
+                     names: tuple) -> Optional[str]:
+        dotted = dotted_name(node.func)
+        for name in names:
+            if dotted == f"struct.{name}":
+                return name
+            if dotted == name and ("struct", name) in imports:
+                return name
+        return None
+
+    @staticmethod
+    def _literal_arity(node: ast.Call) -> Optional[int]:
+        if not node.args:
+            return None
+        fmt = node.args[0]
+        if isinstance(fmt, ast.Constant) and isinstance(fmt.value, str):
+            return _struct_arity(fmt.value)
+        return None
+
+
+@register
+class CrcDisciplineRule(Rule):
+    code = "TRL008"
+    name = "crc-discipline"
+    summary = ("decode_* calls must handle LogFormatError and restored "
+               "payloads must be CRC-verified in the same function")
+    scope = ("src/repro/*",)
+    exempt = ("src/repro/core/format.py",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        yield from self._check_decode_protected(ctx, ctx.tree, False)
+        yield from self._check_payload_verified(ctx)
+
+    # -- part A: decode_* must sit under try/except LogFormatError ----
+
+    def _check_decode_protected(self, ctx: FileContext, node: ast.AST,
+                                protected: bool) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func).rpartition(".")[2]
+            if name in _DECODE_FNS and not protected:
+                yield ctx.finding(
+                    node, self.code,
+                    f"{name}() raises LogFormatError on CRC/format "
+                    f"mismatch; call it inside try/except "
+                    f"LogFormatError")
+        if isinstance(node, ast.Try):
+            body_protected = protected or any(
+                self._catches_format_error(h) for h in node.handlers)
+            for child in node.body:
+                yield from self._check_decode_protected(
+                    ctx, child, body_protected)
+            for other in (node.handlers + node.orelse + node.finalbody):
+                yield from self._check_decode_protected(
+                    ctx, other, protected)
+            return
+        for child in ast.iter_child_nodes(node):
+            yield from self._check_decode_protected(ctx, child, protected)
+
+    @staticmethod
+    def _catches_format_error(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True  # bare except catches it (TRL004's problem)
+        exprs = (handler.type.elts
+                 if isinstance(handler.type, ast.Tuple)
+                 else [handler.type])
+        return any(dotted_name(e).rpartition(".")[2] in _FORMAT_ERROR_NAMES
+                   for e in exprs)
+
+    # -- part B: restore_payload needs a payload-CRC check in scope ---
+
+    def _check_payload_verified(self,
+                                ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            restores: List[ast.Call] = []
+            verified = False
+            for node in ast.walk(func):
+                if isinstance(node, ast.Call):
+                    name = dotted_name(node.func).rpartition(".")[2]
+                    if name == "restore_payload":
+                        restores.append(node)
+                    elif name == "payload_crc32":
+                        verified = True
+                if isinstance(node, ast.Attribute) \
+                        and node.attr == "payload_crc":
+                    verified = True
+            if verified:
+                continue
+            for call in restores:
+                yield ctx.finding(
+                    call, self.code,
+                    "restore_payload() without a payload_crc32 check "
+                    "in the same function: corrupted payloads would be "
+                    "replayed silently")

@@ -1,0 +1,99 @@
+"""General hygiene rules: TRL005 (mutable default arguments), TRL009
+(suppression hygiene, enforced by the engine) and TRL010 (no print()
+in library code).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Union
+
+from trailint.engine import FileContext, Finding
+from trailint.registry import Rule, dotted_name, register
+
+_MUTABLE_CALLS = {
+    "list", "dict", "set", "bytearray", "defaultdict", "deque",
+    "OrderedDict", "Counter",
+}
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "TRL005"
+    name = "no-mutable-defaults"
+    summary = "no mutable default arguments (shared across calls)"
+    scope = ()  # everywhere, tests included
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._mutable(default):
+                    label = _describe(default)
+                    yield ctx.finding(
+                        default, self.code,
+                        f"mutable default {label} is shared across "
+                        f"calls; default to None and construct inside")
+
+    @staticmethod
+    def _mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func).rpartition(".")[2]
+            return name in _MUTABLE_CALLS
+        return False
+
+
+def _describe(node: ast.expr) -> str:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "[]"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "{}"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "{...}"
+    return f"{dotted_name(node.func) if isinstance(node, ast.Call) else '?'}()"
+
+
+@register
+class SuppressionHygieneRule(Rule):
+    """Placeholder so TRL009 shows up in ``--list-rules`` and docs.
+
+    The actual checks live in the engine (`engine._check_suppressions`)
+    because suppression bookkeeping is engine state: a suppression is
+    "unused" only relative to the findings of a *full* rule run.
+    """
+
+    code = "TRL009"
+    name = "suppression-hygiene"
+    summary = ("# trailint: disable=... comments must name known rule "
+               "codes and actually suppress something")
+    scope = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+
+@register
+class NoPrintRule(Rule):
+    code = "TRL010"
+    name = "no-print-in-library"
+    summary = ("no print() in library code; return data and let the "
+               "CLI / analysis layer render it")
+    scope = ("src/repro/*",)
+    exempt = ("src/repro/cli.py", "src/repro/analysis/*")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield ctx.finding(
+                    node, self.code,
+                    "print() in library code: return structured data "
+                    "and render it in repro.cli / repro.analysis")
