@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf perf-smoke profile lint typecheck
+.PHONY: test bench perf perf-smoke profile lint trailsan sansan test-trailsan typecheck
 
 # Tier-1: the full unit/property/integration suite (includes perf-smoke).
 test:
@@ -21,9 +21,24 @@ perf-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/perf -q
 
 # Repo-native static analysis (docs/STATIC_ANALYSIS.md): determinism,
-# error-taxonomy, and on-disk-format lint rules over src/ and tests/.
+# error-taxonomy, and on-disk-format lint rules — over src/, tests/,
+# and the analysis tools themselves (self-lint).
 lint:
-	PYTHONPATH=tools $(PYTHON) -m trailint src tests
+	PYTHONPATH=tools $(PYTHON) -m trailint src tests tools
+
+# Yield-point atomicity & lock-discipline analysis of the cooperative
+# sim (docs/STATIC_ANALYSIS.md): guarded_by / atomic_group annotations,
+# TSN001-TSN005, over src/ and the tools tree (self-analysis).
+trailsan:
+	PYTHONPATH=tools $(PYTHON) -m trailsan src tools
+
+# `make lint` family alias: both repo-native static passes.
+sansan: lint trailsan
+
+# Tier-1 suite under the TRAILSAN=1 runtime sanitizer: atomic groups
+# are value-checked at every context switch.
+test-trailsan:
+	TRAILSAN=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 # Strict typing over the paper-critical packages (mypy.ini).  mypy is a
 # CI dependency, not a vendored one: when it is absent locally the

@@ -85,9 +85,9 @@ class BufferManager:
         self,
         on_record_released: Optional[Callable[[LiveRecord], None]] = None,
     ) -> None:
-        self._pages: Dict[PageKey, PendingPage] = {}
+        self._pages: Dict[PageKey, PendingPage] = {}  # trailsan: atomic_group(pinned-accounting)
         self._on_record_released = on_record_released
-        self.pinned_bytes = 0
+        self.pinned_bytes = 0  # trailsan: atomic_group(pinned-accounting)
         #: Write-backs skipped because a newer version superseded them.
         self.writes_cancelled = 0
         #: Queue entries saved by dedup.
@@ -98,6 +98,19 @@ class BufferManager:
     ) -> None:
         """Install the driver's record-release hook."""
         self._on_record_released = callback
+
+    def accounting_error(self) -> Optional[str]:
+        """None when ``pinned_bytes`` matches the pinned pages, else a
+        description of the drift (the TRAILSAN pinned-accounting
+        invariant)."""
+        actual = 0
+        for page in self._pages.values():
+            actual += len(page.data)
+        if actual != self.pinned_bytes:
+            return (f"pinned_bytes={self.pinned_bytes} but the "
+                    f"{len(self._pages)} pinned page(s) hold {actual} "
+                    f"bytes")
+        return None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -156,6 +169,10 @@ class BufferManager:
             self._pages[key] = page
             self.pinned_bytes += len(data)
         else:
+            # Re-pinning may change the byte length within the same
+            # sector count; the accounting must track the bytes that
+            # committed() will eventually subtract.
+            self.pinned_bytes += len(data) - len(page.data)
             page.data = bytes(data)
             if page.queued or page.in_flight:
                 self.writes_deduplicated += 1

@@ -153,9 +153,15 @@ class TrailDriver(BlockDevice):
         #: Requests accepted but not yet acknowledged (queued or being
         #: assembled into records); failed wholesale on a crash.
         self._unacked: Dict[int, _PendingWrite] = {}
-        self._live_records: "OrderedDict[int, LiveRecord]" = OrderedDict()
+        # The tail chain: the newest record's in-memory entry and the
+        # prev_sect link the next record will carry must move together;
+        # recovery reads them as one invariant.  _next_sequence stays
+        # *outside* the group — it increments before the platter write
+        # so a torn write can never reuse a sequence id.
+        self._live_records: "OrderedDict[int, LiveRecord]" = \
+            OrderedDict()  # trailsan: atomic_group(tail-chain)
         self._next_sequence = 0
-        self._last_record_lba = NULL_LBA
+        self._last_record_lba = NULL_LBA  # trailsan: atomic_group(tail-chain)
         self._physical_track: Optional[int] = None
         self._track_freed: Optional[Event] = None
         self._last_activity = 0.0
@@ -169,6 +175,13 @@ class TrailDriver(BlockDevice):
         self._mounted = False
         self._writer_process: Optional[Process] = None
         self._repositioner_process: Optional[Process] = None
+
+        sanitizer = sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.add_transition("tail-chain", self._san_tail_probe,
+                                     self._san_tail_judge)
+            sanitizer.add_invariant("pinned-accounting",
+                                    self.buffers.accounting_error)
 
     # ------------------------------------------------------------------
     # Formatting and mounting
@@ -573,7 +586,6 @@ class TrailDriver(BlockDevice):
             log_head = next(iter(self._live_records.values())).header_lba
         else:
             log_head = header_lba
-        self._live_records[sequence] = record
 
         entries: List[BatchEntry] = []
         payload_sectors: List[bytes] = []
@@ -599,11 +611,14 @@ class TrailDriver(BlockDevice):
         try:
             result = yield self.log_drive.write(header_lba, blob)
         except MediaError as exc:
-            self._live_records.pop(sequence, None)
             self.stats.log_media_errors += 1
             yield from self._log_write_failed(exc, spans, pending)
             return
 
+        # The record enters the live tail only once it is on the
+        # platter, in the same atomic segment that stitches the chain
+        # link — no peer may observe one without the other.
+        self._live_records[sequence] = record
         self._last_record_lba = header_lba
         self._physical_track = track
         predictor.set_reference(self.sim.now, header_lba + total)
@@ -830,6 +845,32 @@ class TrailDriver(BlockDevice):
         if self._track_freed is not None and not self._track_freed.triggered:
             self._track_freed.succeed()
             self._track_freed = None
+
+    # ------------------------------------------------------------------
+    # TRAILSAN runtime checks (atomic_group(tail-chain))
+
+    def _san_tail_probe(self) -> Tuple[object, ...]:
+        if self._live_records:
+            newest: Optional[int] = next(reversed(self._live_records))
+        else:
+            newest = None
+        return newest, self._last_record_lba
+
+    def _san_tail_judge(self, old: Tuple[object, ...],
+                        new: Tuple[object, ...]) -> Optional[str]:
+        old_key, old_lba = old
+        new_key, new_lba = new
+        if isinstance(new_key, int) and new_key >= self._next_sequence:
+            return (f"live record {new_key} at or above the next "
+                    f"sequence id {self._next_sequence}")
+        grew = (isinstance(new_key, int)
+                and (old_key is None
+                     or (isinstance(old_key, int) and new_key > old_key)))
+        if grew and new_lba == old_lba:
+            return (f"record {new_key!r} entered the live tail while "
+                    f"the chain link stayed at lba {new_lba!r} — the "
+                    f"pair must move in one atomic segment")
+        return None
 
     # ------------------------------------------------------------------
 

@@ -45,9 +45,9 @@ class StripedTrailDriver(BlockDevice):
         if not log_drives:
             raise TrailError("need at least one log disk")
         self.sim = sim
-        self.data_disks = dict(data_disks)
+        self.data_disks = dict(data_disks)  # trailsan: atomic_group(stripe-set)
         self.config = config or TrailConfig()
-        self.stripes: List[TrailDriver] = [
+        self.stripes: List[TrailDriver] = [  # trailsan: atomic_group(stripe-set)
             TrailDriver(sim, log_drive, data_disks, self.config)
             for log_drive in log_drives
         ]

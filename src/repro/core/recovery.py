@@ -125,8 +125,8 @@ class RecoveryManager:
         self.epoch = epoch
         self.data_disks = data_disks
         self.config = config or TrailConfig()
-        self._track_cache: Dict[int, Optional[LocatedRecord]] = {}
-        self._report = RecoveryReport()
+        self._track_cache: Dict[int, Optional[LocatedRecord]] = {}  # trailsan: atomic_group(scan-state)
+        self._report = RecoveryReport()  # trailsan: atomic_group(scan-state)
 
     def run(self) -> Generator[Event, Any, RecoveryReport]:
         """Full recovery; yields disk I/O, returns a RecoveryReport."""

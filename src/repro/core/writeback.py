@@ -18,7 +18,7 @@ or wedging the drain loop.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Optional
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
 from repro.core.buffer import BufferManager, PageKey, PendingPage
 from repro.disk.controller import PRIORITY_READ, PRIORITY_WRITE
@@ -49,8 +49,8 @@ class WritebackScheduler:
         self.retry_limit = retry_limit
         self.retry_base_ms = retry_base_ms
         self.queue: Store = Store(sim)
-        self.pages_written = 0
-        self.sectors_written = 0
+        self.pages_written = 0  # trailsan: atomic_group(wb-counters)
+        self.sectors_written = 0  # trailsan: atomic_group(wb-counters)
         #: Write attempts that failed with a media error and were retried.
         self.write_retries = 0
         #: Pages whose targets were relocated to spare sectors.
@@ -62,6 +62,34 @@ class WritebackScheduler:
         #: quiescent; the driver uses it to wake ``flush()`` waiters.
         self.on_idle: Optional[Callable[[], None]] = None
         self._process: Optional[Process] = None
+
+        sanitizer = sim.sanitizer
+        if sanitizer is not None:
+            sanitizer.add_transition(
+                "wb-counters", self._san_counter_probe,
+                self._san_counter_judge)
+
+    def _san_counter_probe(self) -> "Tuple[object, ...]":
+        return self.pages_written, self.sectors_written
+
+    def _san_counter_judge(self, old: "Tuple[object, ...]",
+                           new: "Tuple[object, ...]") -> Optional[str]:
+        old_pages, old_sectors = old
+        new_pages, new_sectors = new
+        assert isinstance(old_pages, int) and isinstance(old_sectors, int)
+        assert isinstance(new_pages, int) and isinstance(new_sectors, int)
+        pages_delta = new_pages - old_pages
+        sectors_delta = new_sectors - old_sectors
+        if pages_delta < 0 or sectors_delta < 0:
+            return None  # counters were reset; resynchronize silently
+        if (pages_delta == 0) != (sectors_delta == 0):
+            return (f"pages_written moved by {pages_delta} but "
+                    f"sectors_written by {sectors_delta} in one atomic "
+                    f"segment")
+        if sectors_delta < pages_delta:
+            return (f"{pages_delta} page(s) accounted only "
+                    f"{sectors_delta} sector(s)")
+        return None
 
     def start(self) -> Process:
         """Launch the background drain process."""

@@ -18,6 +18,11 @@ class SimulationError(ReproError):
     """Misuse of the simulation kernel (e.g. running a finished sim)."""
 
 
+class SanitizerError(SimulationError):
+    """A ``TRAILSAN=1`` runtime check observed a declared atomic group
+    torn at a context switch (see ``repro.sim.sanitizer``)."""
+
+
 class DiskError(ReproError):
     """Base class for disk-simulator errors."""
 

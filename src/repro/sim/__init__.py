@@ -8,8 +8,10 @@ queueing, and measurement probes.
 
 from repro.sim.events import Event, Timeout, Condition, all_of, any_of
 from repro.sim.kernel import Simulation
+from repro.sim.perturb import PerturbedSimulation
 from repro.sim.process import Interrupt, Process, ProcessGenerator
 from repro.sim.resources import PriorityResource, Request, Resource, Store
+from repro.sim.sanitizer import TrailSanitizer, sanitizer_from_env
 from repro.sim.monitor import CounterSet, LatencyRecorder, UtilizationTracker
 
 __all__ = [
@@ -18,6 +20,7 @@ __all__ = [
     "Event",
     "Interrupt",
     "LatencyRecorder",
+    "PerturbedSimulation",
     "PriorityResource",
     "Process",
     "ProcessGenerator",
@@ -26,7 +29,9 @@ __all__ = [
     "Simulation",
     "Store",
     "Timeout",
+    "TrailSanitizer",
     "UtilizationTracker",
     "all_of",
     "any_of",
+    "sanitizer_from_env",
 ]

@@ -48,6 +48,7 @@ from typing import (
 from repro.errors import SimulationError
 from repro.sim.events import Event, Timeout, Condition, all_of, any_of, _PENDING
 from repro.sim.process import Process, ProcessGenerator
+from repro.sim.sanitizer import TrailSanitizer, sanitizer_from_env
 
 _new_timeout: Callable[[Type[Timeout]], Timeout] = Timeout.__new__
 _new_event: Callable[[Type[Event]], Event] = Event.__new__
@@ -66,6 +67,12 @@ class Simulation:
         #: ``(time, sequence)`` pair here — the determinism tests use
         #: this to prove optimizations preserve event ordering.
         self._trace: Optional[List[Tuple[float, int]]] = None
+        #: Runtime atomicity sanitizer (``TRAILSAN=1``), or None.
+        #: Components register their atomic groups here at construction
+        #: time; the dispatch loops call ``check()`` at every context
+        #: switch.  Read-only checks: enabling it never changes the
+        #: schedule.
+        self.sanitizer: Optional[TrailSanitizer] = sanitizer_from_env()
 
     @property
     def now(self) -> float:
@@ -163,6 +170,7 @@ class Simulation:
         pop = heappop
         popleft = ready.popleft
         trace = self._trace
+        sanitizer = self.sanitizer
         if until is None:
             # Drain-to-empty variant: no deadline comparisons in the loop.
             while True:
@@ -195,6 +203,8 @@ class Simulation:
                             callback(event)
                 if event._exception is not None and not event._defused:
                     raise event._exception
+                if sanitizer is not None:
+                    sanitizer.check(self._now)
             return self._now
         while True:
             # Pop the globally smallest (time, sequence) of both queues.
@@ -233,6 +243,8 @@ class Simulation:
                         callback(event)
             if event._exception is not None and not event._defused:
                 raise event._exception
+            if sanitizer is not None:
+                sanitizer.check(self._now)
         self._now = until
         return until
 
@@ -273,6 +285,8 @@ class Simulation:
         event._run_callbacks()
         if event._exception is not None and not event._defused:
             raise event._exception
+        if self.sanitizer is not None:
+            self.sanitizer.check(self._now)
 
     # ------------------------------------------------------------------
     # Internal API used by events

@@ -1,0 +1,19 @@
+"""TRL011: generator process functions called as bare statements."""
+
+
+def pump(disk):
+    yield disk.write(2, b"z")
+
+
+class Flusher:
+    def _drain(self, disk):
+        yield disk.write(0, b"x")
+
+    def flush(self, disk):
+        self._drain(disk)
+        yield disk.write(1, b"y")
+
+
+def run(disk):
+    pump(disk)
+    yield disk.write(3, b"w")

@@ -1,0 +1,26 @@
+"""Near-miss for TRL011: generators delegated or handed to a driver."""
+
+
+def pump(disk):
+    yield disk.write(2, b"z")
+
+
+class Flusher:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def _drain(self, disk):
+        yield disk.write(0, b"x")
+
+    def flush(self, disk):
+        yield from self._drain(disk)
+        self.sim.process(pump(disk))
+        yield disk.write(1, b"y")
+
+    def helper(self, disk):
+        # Bare calls of non-generators are ordinary statements.
+        self.note(disk)
+        yield disk.write(4, b"v")
+
+    def note(self, disk):
+        self.last = disk

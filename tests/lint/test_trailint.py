@@ -24,7 +24,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 BAD_FIXTURES = sorted((FIXTURES / "bad").glob("*.py"))
 GOOD_FIXTURES = sorted((FIXTURES / "good").glob("*.py"))
 
-ALL_CODES = {f"TRL{n:03d}" for n in range(1, 11)}
+ALL_CODES = {f"TRL{n:03d}" for n in range(1, 12)}
 
 
 def lint_one(path: Path):

@@ -1,0 +1,4 @@
+"""TSN000 hygiene: unknown code and unused suppression."""
+
+TRACKS = 1  # trailsan: disable=TSN099
+SECTORS = 2  # trailsan: disable=TSN001

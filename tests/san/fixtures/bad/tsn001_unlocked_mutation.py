@@ -1,0 +1,19 @@
+"""TSN001: guarded state used across yields without holding its lock."""
+
+
+class Driver:
+    def __init__(self, sim, lock):
+        self.sim = sim
+        self.lock = lock
+        self.tail = 0  # trailsan: guarded_by(lock)
+        self.head = 0  # trailsan: guarded_by(lock)
+
+    def advance(self, disk):
+        before = self.tail
+        yield disk.write(before, b"x")
+        self.tail = before + 1
+
+    def rewind(self, disk):
+        self.head -= 1
+        yield disk.write(self.head, b"y")
+        self.head -= 1

@@ -1,0 +1,22 @@
+"""TSN002: a lock held across waits only a peer process can finish."""
+
+
+class Pump:
+    def __init__(self, sim):
+        self.sim = sim
+        self.lock = Resource(sim)
+        self.inbox = Store(sim)
+
+    def drain(self, disk):
+        token = self.lock.request()
+        yield token
+        item = yield self.inbox.get()
+        yield disk.write(0, item)
+        self.lock.release(token)
+
+    def nested(self, other):
+        token = self.lock.request()
+        yield token
+        inner = yield other.request()
+        other.release(inner)
+        self.lock.release(token)

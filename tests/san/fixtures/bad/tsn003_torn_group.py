@@ -1,0 +1,18 @@
+"""TSN003: atomic-group members written in different atomic segments."""
+
+
+class Driver:
+    def __init__(self, sim):
+        self.sim = sim
+        self.chain_head = 0  # trailsan: atomic_group(chain)
+        self.chain_len = 0  # trailsan: atomic_group(chain)
+
+    def emit(self, disk):
+        self.chain_head += 8
+        yield disk.write(self.chain_head, b"r")
+        self.chain_len += 1
+
+    def shrink(self, disk):
+        self.chain_len -= 1
+        yield disk.write(0, b"t")
+        self.chain_head -= 8

@@ -1,0 +1,21 @@
+"""TSN005: one generator object consumed more than once."""
+
+
+def worker(disk):
+    yield disk.write(0, b"x")
+
+
+class Runner:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def twice(self, disk):
+        gen = worker(disk)
+        yield from gen
+        yield from gen
+
+    def respawn(self, disk):
+        gen = worker(disk)
+        self.sim.process(gen)
+        self.sim.process(gen)
+        yield self.sim.timeout(1.0)

@@ -1,0 +1,24 @@
+"""Near-miss for TSN003: group members always move in one segment."""
+
+
+class Driver:
+    def __init__(self, sim):
+        self.sim = sim
+        self.chain_head = 0  # trailsan: atomic_group(chain)
+        self.chain_len = 0  # trailsan: atomic_group(chain)
+
+    def emit(self, disk):
+        yield disk.write(self.chain_head, b"r")
+        self.chain_head += 8
+        self.chain_len += 1
+
+    def emit_many(self, disk):
+        for _ in range(4):
+            yield disk.write(self.chain_head, b"r")
+            self.chain_head += 8
+            self.chain_len += 1
+
+    def observe(self, disk):
+        # Reads may land anywhere; only torn *writes* break the pair.
+        yield disk.write(self.chain_head, b"s")
+        yield disk.write(self.chain_len, b"u")

@@ -1,0 +1,18 @@
+"""Near-miss for TSN002: only bounded waits happen under the lock."""
+
+
+class Pump:
+    def __init__(self, sim):
+        self.sim = sim
+        self.lock = Resource(sim)
+
+    def drain(self, disk):
+        token = self.lock.request()
+        yield token
+        yield disk.write(0, b"x")
+        yield self.sim.timeout(2.0)
+        yield from self._tail_io(disk)
+        self.lock.release(token)
+
+    def _tail_io(self, disk):
+        yield disk.read(0, 1)

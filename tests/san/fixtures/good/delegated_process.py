@@ -1,0 +1,32 @@
+"""Near-miss for TSN004/TSN005: delegation and fresh generators."""
+
+
+def pump(disk):
+    yield disk.write(2, b"z")
+
+
+class Flusher:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def _drain(self, disk):
+        yield disk.write(0, b"x")
+
+    def flush(self, disk):
+        yield from self._drain(disk)
+        self.sim.process(pump(disk))
+        yield disk.write(1, b"y")
+
+    def twice_fresh(self, disk):
+        gen = pump(disk)
+        yield from gen
+        gen = pump(disk)
+        yield from gen
+
+    def helper(self, disk):
+        # Calling a *non*-generator as a statement is ordinary code.
+        self.note(disk)
+        yield disk.write(4, b"v")
+
+    def note(self, disk):
+        self.last = disk

@@ -1,0 +1,26 @@
+"""Near-miss for TSN001: the lock is held at every guarded touch."""
+
+
+class Driver:
+    def __init__(self, sim, lock):
+        self.sim = sim
+        self.lock = lock
+        self.tail = 0  # trailsan: guarded_by(lock)
+
+    def advance(self, disk):
+        token = self.lock.request()
+        yield token
+        try:
+            before = self.tail
+            yield disk.write(before, b"x")
+            self.tail = before + 1
+        finally:
+            self.lock.release(token)
+
+    def peek_once(self):
+        # A single-segment touch needs no lock: nothing can interleave.
+        return self.tail
+
+    def reset(self, disk):
+        yield disk.write(0, b"z")
+        self.tail = 0

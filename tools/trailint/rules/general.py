@@ -1,12 +1,13 @@
 """General hygiene rules: TRL005 (mutable default arguments), TRL009
-(suppression hygiene, enforced by the engine) and TRL010 (no print()
-in library code).
+(suppression hygiene, enforced by the engine), TRL010 (no print() in
+library code) and TRL011 (process generators called without
+``yield from``).
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Union
+from typing import Dict, Iterator, Set, Union
 
 from trailint.engine import FileContext, Finding
 from trailint.registry import Rule, dotted_name, register
@@ -97,3 +98,93 @@ class NoPrintRule(Rule):
                     node, self.code,
                     "print() in library code: return structured data "
                     "and render it in repro.cli / repro.analysis")
+
+
+def _is_generator_def(func: Union[ast.FunctionDef,
+                                  ast.AsyncFunctionDef]) -> bool:
+    """True when ``func``'s own body contains a yield."""
+    stack = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda, ast.ClassDef)):
+            continue  # nested scope owns its yields
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register
+class DiscardedProcessCallRule(Rule):
+    """TRL011: the static sibling of trailsan's TSN004.
+
+    Calling a generator function as a plain statement builds a
+    generator object and throws it away — the process body silently
+    never runs.  The caller meant ``yield from fn(...)`` or
+    ``sim.process(fn(...))``.
+    """
+
+    code = "TRL011"
+    name = "discarded-process-call"
+    summary = ("generator (sim process) function called as a bare "
+               "statement; its body silently never runs")
+    scope = ("src/repro/*",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module_generators: Set[str] = {
+            node.name for node in ctx.tree.body
+            if isinstance(node, ast.FunctionDef)
+            and _is_generator_def(node)}
+        class_generators: Dict[str, Set[str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                class_generators[node.name] = {
+                    stmt.name for stmt in node.body
+                    if isinstance(stmt, ast.FunctionDef)
+                    and _is_generator_def(stmt)}
+
+        for cls_name, func, stmt in _statement_calls(ctx.tree):
+            call = stmt.value
+            assert isinstance(call, ast.Call)
+            target = call.func
+            if isinstance(target, ast.Name):
+                if target.id not in module_generators:
+                    continue
+                label = target.id
+            elif (isinstance(target, ast.Attribute)
+                  and isinstance(target.value, ast.Name)
+                  and target.value.id == "self" and cls_name is not None
+                  and target.attr in class_generators.get(cls_name, ())):
+                label = f"self.{target.attr}"
+            else:
+                continue
+            yield ctx.finding(
+                call, self.code,
+                f"'{label}(...)' discards the generator it creates; "
+                f"use 'yield from' or hand it to sim.process()")
+
+
+def _statement_calls(tree: ast.Module):
+    """Yield (owning class name, owning function, Expr-call statement)
+    for every bare call statement in every function body."""
+    def walk_func(func: ast.FunctionDef, cls_name):
+        stack = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda, ast.ClassDef)):
+                continue
+            if (isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)):
+                yield cls_name, func, node
+            stack.extend(ast.iter_child_nodes(node))
+
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef):
+            yield from walk_func(node, None)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if isinstance(stmt, ast.FunctionDef):
+                    yield from walk_func(stmt, node.name)

@@ -1,0 +1,31 @@
+"""trailsan: yield-point atomicity analysis for the cooperative sim.
+
+The simulation's concurrency model gives every process atomicity
+*between* yields; trailsan checks that the code actually honors the
+invariants that model implies.  Ground truth comes from lightweight
+annotations in the analyzed sources::
+
+    self._tail = 0          # trailsan: guarded_by(_tail_lock)
+    self._head = NULL_LBA   # trailsan: atomic_group(tail-chain)
+    self._live = {}         # trailsan: atomic_group(tail-chain)
+
+Run it with ``python -m trailsan [paths...]`` (see ``--help``), or
+through ``make trailsan``.  The static pass is paired with the runtime
+sanitizer in ``repro.sim.sanitizer`` (enabled with ``TRAILSAN=1``),
+which checks the same atomic groups at every context switch.
+"""
+
+from trailsan.engine import (
+    Finding, SanConfig, SanContext, analyze_file, run_paths)
+from trailsan.rules import Rule, all_rules, register
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SanConfig",
+    "SanContext",
+    "all_rules",
+    "analyze_file",
+    "register",
+    "run_paths",
+]

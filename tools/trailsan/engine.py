@@ -1,9 +1,18 @@
-"""File discovery, suppression handling and the lint driver loop.
+"""File discovery, suppression handling and the analysis driver loop.
 
-The engine owns everything that is not a rule: walking the input
-paths, parsing each file once (AST + comment tokens), matching rules
-against paths, applying ``# trailint: disable=...`` suppressions, and
-policing the suppressions themselves (TRL009).
+Mirrors ``trailint.engine`` conventions exactly — same walk rules,
+same explicit-file semantics, same suppression grammar with the
+``trailsan:`` prefix — so the two tools feel like one family:
+
+```
+value = compute()            # trailsan: disable=TSN001
+# trailsan: disable-file=TSN004
+```
+
+``TSN000`` is the engine's own code: unreadable/syntactically invalid
+files, and suppression-hygiene findings (a suppression naming an
+unknown code or hiding nothing is itself a finding, so suppressions
+cannot rot).
 """
 
 from __future__ import annotations
@@ -15,29 +24,27 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from fnmatch import fnmatch
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from trailint.registry import Rule, all_rules
+from trailsan.model import (
+    ClassModel, FunctionScan, ModuleModel, build_module_model)
+from trailsan.rules import Rule, all_rules
 
-#: Paths (posix relpaths, fnmatch) never linted when discovered by a
-#: directory walk.  The lint fixtures are *deliberately* bad code; they
-#: are linted by passing them explicitly.
+#: Paths (posix relpaths, fnmatch) never analyzed when discovered by a
+#: directory walk.  The sanitizer fixtures are *deliberately* racy
+#: code; they are analyzed by passing them explicitly.
 DEFAULT_EXCLUDE_PATTERNS: Tuple[str, ...] = (
+    "tests/san/fixtures/*",
     "tests/lint/fixtures/*",
 )
 
-#: Directory basenames skipped during the walk.
 _SKIP_DIRS = {
     "__pycache__", ".git", ".mypy_cache", ".pytest_cache", ".hypothesis",
 }
 
-#: ``# trailint: disable=TRLnnn[,TRLnnn...]`` — trailing, suppresses on
-#: its own line.  ``disable-file`` on a comment-only line suppresses
-#: for the whole file.  (Spelled with ``nnn`` here so the self-lint
-#: does not read this comment as a real suppression.)
 _SUPPRESS_RE = re.compile(
-    r"#\s*trailint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
-    r"(?P<codes>TRL\d{3}(?:\s*,\s*TRL\d{3})*)")
+    r"#\s*trailsan:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
+    r"(?P<codes>TSN\d{3}(?:\s*,\s*TSN\d{3})*)")
 
 
 @dataclass(frozen=True, order=True)
@@ -60,7 +67,7 @@ class Finding:
 
 
 @dataclass
-class LintConfig:
+class SanConfig:
     """Which rules run and which files are skipped."""
 
     select: Optional[Set[str]] = None   # None = all registered rules
@@ -79,17 +86,44 @@ class LintConfig:
 
     @property
     def narrowed(self) -> bool:
-        """True when select/ignore filtered the registered rule set."""
         return self.select is not None or bool(self.ignore)
 
 
-@dataclass
-class FileContext:
-    """Everything a rule may look at for one file."""
+class SanContext:
+    """Everything a rule may look at for one file.
 
-    path: str          # posix relpath from the lint root
-    source: str
-    tree: ast.Module
+    The module model and the per-function scans are computed once and
+    shared by every rule.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self._model: Optional[ModuleModel] = None
+        self._scans: Optional[
+            List[Tuple[FunctionScan, Optional[ClassModel]]]] = None
+
+    def model(self) -> ModuleModel:
+        if self._model is None:
+            self._model = build_module_model(self.tree, self.source)
+        return self._model
+
+    def scans(self) -> List[Tuple[FunctionScan, Optional[ClassModel]]]:
+        """(scan, owning class) for every module-level function and
+        every method of every class, in source order."""
+        if self._scans is not None:
+            return self._scans
+        model = self.model()
+        scans: List[Tuple[FunctionScan, Optional[ClassModel]]] = []
+        for node in self.tree.body:
+            if isinstance(node, ast.FunctionDef):
+                scans.append((FunctionScan(node, model, None), None))
+        for cls in model.classes.values():
+            for method in cls.methods.values():
+                scans.append((FunctionScan(method, model, cls), cls))
+        self._scans = scans
+        return scans
 
     def finding(self, node: ast.AST, code: str, message: str) -> Finding:
         return Finding(path=self.path,
@@ -100,16 +134,9 @@ class FileContext:
 
 @dataclass
 class _Suppressions:
-    """Parsed suppression comments for one file."""
-
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
     file_wide: Set[str] = field(default_factory=set)
-    #: (line, code) pairs as written, for TRL009 bookkeeping.
     declared: List[Tuple[int, str, bool]] = field(default_factory=list)
-
-    def hides(self, finding: Finding) -> bool:
-        return (finding.code in self.file_wide
-                or finding.code in self.by_line.get(finding.line, set()))
 
 
 def _parse_suppressions(source: str) -> _Suppressions:
@@ -134,23 +161,23 @@ def _parse_suppressions(source: str) -> _Suppressions:
     return sup
 
 
-def lint_file(path: str, relpath: str, config: LintConfig,
-              explicit: bool = False) -> List[Finding]:
-    """Lint one file; returns post-suppression findings (sorted)."""
+def analyze_file(path: str, relpath: str, config: SanConfig,
+                 explicit: bool = False) -> List[Finding]:
+    """Analyze one file; returns post-suppression findings (sorted)."""
     try:
         with open(path, encoding="utf-8") as handle:
             source = handle.read()
     except (OSError, UnicodeDecodeError) as exc:
-        return [Finding(path=relpath, line=1, col=1, code="TRL000",
+        return [Finding(path=relpath, line=1, col=1, code="TSN000",
                         message=f"cannot read file: {exc}")]
     try:
         tree = ast.parse(source, filename=relpath)
     except SyntaxError as exc:
         return [Finding(path=relpath, line=exc.lineno or 1,
-                        col=(exc.offset or 0) + 1, code="TRL000",
+                        col=(exc.offset or 0) + 1, code="TSN000",
                         message=f"syntax error: {exc.msg}")]
 
-    ctx = FileContext(path=relpath, source=source, tree=tree)
+    ctx = SanContext(path=relpath, source=source, tree=tree)
     raw: List[Finding] = []
     for rule in config.rules():
         if not rule.applies_to(relpath, explicit=explicit):
@@ -174,25 +201,24 @@ def lint_file(path: str, relpath: str, config: LintConfig,
 
 def _check_suppressions(relpath: str, suppressions: _Suppressions,
                         used: Set[Tuple[int, str]],
-                        config: LintConfig) -> List[Finding]:
-    """TRL009: suppression comments must name real, needed codes."""
-    if config.narrowed or "TRL009" in config.ignore:
+                        config: SanConfig) -> List[Finding]:
+    """TSN000 hygiene: suppressions must name real, needed codes."""
+    if config.narrowed or "TSN000" in config.ignore:
         # A partial rule run cannot tell whether a suppression is
-        # genuinely unused, so suppression hygiene only runs with the
-        # full rule set.
+        # genuinely unused, so hygiene only runs with the full set.
         return []
-    from trailint.registry import _REGISTRY
-    known = set(_REGISTRY) | {"TRL000", "TRL009"}
+    from trailsan.rules import _REGISTRY
+    known = set(_REGISTRY) | {"TSN000"}
     findings = []
     for line, code, file_wide in suppressions.declared:
         if code not in known:
             findings.append(Finding(
-                path=relpath, line=line, col=1, code="TRL009",
+                path=relpath, line=line, col=1, code="TSN000",
                 message=f"suppression names unknown rule code {code}"))
         elif (-1 if file_wide else line, code) not in used:
             where = "file-wide" if file_wide else "on this line"
             findings.append(Finding(
-                path=relpath, line=line, col=1, code="TRL009",
+                path=relpath, line=line, col=1, code="TSN000",
                 message=f"unused suppression: {code} reports nothing "
                         f"{where}"))
     return findings
@@ -230,18 +256,19 @@ def _rel(root: str, path: str) -> str:
 
 
 def run_paths(paths: Sequence[str], root: Optional[str] = None,
-              config: Optional[LintConfig] = None,
+              config: Optional[SanConfig] = None,
               ) -> Tuple[List[Finding], int]:
-    """Lint ``paths`` (files or directories) under ``root``.
+    """Analyze ``paths`` (files or directories) under ``root``.
 
     Returns ``(findings, files_checked)``.  Files named explicitly are
-    linted with every rule regardless of rule scopes — this is how the
-    known-bad fixtures under ``tests/lint/fixtures`` are exercised.
+    analyzed with every rule regardless of rule scopes — this is how
+    the known-bad fixtures under ``tests/san/fixtures`` are exercised.
     """
     root = os.path.abspath(root or os.getcwd())
-    config = config or LintConfig()
+    config = config or SanConfig()
     findings: List[Finding] = []
     files = _walk(root, paths, config.exclude)
     for full, rel, explicit in files:
-        findings.extend(lint_file(full, rel, config, explicit=explicit))
+        findings.extend(analyze_file(full, rel, config,
+                                     explicit=explicit))
     return sorted(findings), len(files)
