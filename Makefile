@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf perf-smoke profile lint trailsan sansan test-trailsan typecheck
+.PHONY: test bench perf perf-smoke profile lint trailsan units sansan test-trailsan typecheck
 
 # Tier-1: the full unit/property/integration suite (includes perf-smoke).
 test:
@@ -32,8 +32,14 @@ lint:
 trailsan:
 	PYTHONPATH=tools $(PYTHON) -m trailsan src tools
 
-# `make lint` family alias: both repo-native static passes.
-sansan: lint trailsan
+# Dimension & address-space flow analysis (docs/STATIC_ANALYSIS.md):
+# bytes vs sectors, ms vs s, log-disk vs data-disk LBAs, TUN001-TUN008,
+# seeded from repro.units annotations — over src/ and the tools tree.
+units:
+	$(PYTHON) -m tools.trailunits src tools
+
+# `make lint` family alias: all three repo-native static passes.
+sansan: lint trailsan units
 
 # Tier-1 suite under the TRAILSAN=1 runtime sanitizer: atomic groups
 # are value-checked at every context switch.
@@ -46,7 +52,8 @@ test-trailsan:
 typecheck:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
 		$(PYTHON) -m mypy --config-file mypy.ini \
-			-p repro.core -p repro.disk -p repro.sim -p repro.faults; \
+			-p repro.core -p repro.disk -p repro.sim -p repro.faults \
+			-p repro.fs -p repro.raid; \
 	else \
 		echo "typecheck: mypy not installed; skipping (CI runs it)"; \
 	fi

@@ -31,6 +31,7 @@ from repro.disk.drive import DiskDrive
 from repro.errors import TrailError
 from repro.sim import (
     Event, Interrupt, LatencyRecorder, Process, Simulation)
+from repro.units import microseconds
 
 
 @dataclass
@@ -72,7 +73,7 @@ class DcdDriver(BlockDevice):
         self.cache_disk = cache_disk
         self.data_disks = dict(data_disks)
         self.nvram_bytes = nvram_bytes
-        self.nvram_write_ms = nvram_write_us / 1000.0
+        self.nvram_write_ms = microseconds(nvram_write_us)
         self.destage_idle_ms = destage_idle_ms
         self.stats = DcdStats()
 

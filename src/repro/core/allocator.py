@@ -20,6 +20,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.disk.geometry import DiskGeometry
 from repro.errors import LogDiskFullError, TrailError
+from repro.units import Lba, Sectors, Tracks
 
 
 class TrackAllocator:
@@ -54,7 +55,7 @@ class TrackAllocator:
     # Introspection
 
     @property
-    def current_track(self) -> int:
+    def current_track(self) -> Tracks:
         """The active (tail) track the head is parked on."""
         return self._tracks[self._position]
 
@@ -68,7 +69,7 @@ class TrackAllocator:
         """Tracks currently holding at least one uncommitted record."""
         return sum(1 for count in self._live_counts.values() if count > 0)
 
-    def used_sectors(self, track: Optional[int] = None) -> int:
+    def used_sectors(self, track: Optional[Tracks] = None) -> Sectors:
         """Used sector count on ``track`` (default: the current track)."""
         if track is not None and track != self.current_track:
             raise TrailError(
@@ -80,7 +81,7 @@ class TrackAllocator:
         spt = self.geometry.track_sectors(self.current_track)
         return self.used_sectors() / spt
 
-    def free_sectors(self) -> int:
+    def free_sectors(self) -> Sectors:
         """Free sectors remaining on the current track."""
         spt = self.geometry.track_sectors(self.current_track)
         return spt - self.used_sectors()
@@ -104,7 +105,8 @@ class TrackAllocator:
     # ------------------------------------------------------------------
     # Placement on the current track
 
-    def place(self, preferred_sector: int, nsectors: int) -> Optional[int]:
+    def place(self, preferred_sector: Sectors,
+              nsectors: Sectors) -> Optional[Sectors]:
         """Find a free contiguous run of ``nsectors`` on the current track.
 
         Prefers the run starting exactly at ``preferred_sector`` (the
@@ -150,7 +152,8 @@ class TrackAllocator:
                     best, best_distance = start, distance
         return best
 
-    def commit_placement(self, start_sector: int, nsectors: int) -> int:
+    def commit_placement(self, start_sector: Sectors,
+                         nsectors: Sectors) -> Lba:
         """Mark ``nsectors`` at ``start_sector`` used; returns the LBA.
 
         Also counts one live record on the current track.
@@ -214,7 +217,7 @@ class TrackAllocator:
         self._live_counts.pop(next_track, None)
         return next_track
 
-    def record_released(self, track: int) -> None:
+    def record_released(self, track: Tracks) -> None:
         """One record on ``track`` was committed to its data disk."""
         count = self._live_counts.get(track)
         if not count:

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TrailError
+from repro.units import Lba, LogLba, Sectors, Tracks
 
 
 #: Identifies one buffered page: (data disk id, first LBA, sector count).
@@ -39,15 +40,15 @@ class LiveRecord:
     """A write record on the log disk that is not yet fully committed."""
 
     sequence_id: int
-    track: int
-    header_lba: int
-    nsectors: int
+    track: Tracks
+    header_lba: LogLba
+    nsectors: Sectors
     #: Pages (with their logged versions) this record still waits on.
     outstanding: int = 0
     released: bool = False
     #: Sectors of log-disk space the record occupies (header + payload).
     @property
-    def footprint_sectors(self) -> int:
+    def footprint_sectors(self) -> Sectors:
         return 1 + self.nsectors
 
 
@@ -70,11 +71,11 @@ class PendingPage:
         return self.key[0]
 
     @property
-    def lba(self) -> int:
+    def lba(self) -> Lba:
         return self.key[1]
 
     @property
-    def nsectors(self) -> int:
+    def nsectors(self) -> Sectors:
         return self.key[2]
 
 
@@ -123,7 +124,8 @@ class BufferManager:
         """Number of distinct pages awaiting write-back."""
         return len(self._pages)
 
-    def get_cached(self, disk_id: int, lba: int, nsectors: int) -> Optional[bytes]:
+    def get_cached(self, disk_id: int, lba: Lba,
+                   nsectors: Sectors) -> Optional[bytes]:
         """Serve a read from the pinned set if a page covers it exactly.
 
         The driver services reads "from the Trail driver's buffer
@@ -135,7 +137,8 @@ class BufferManager:
             return page.data
         return None
 
-    def find_covering(self, disk_id: int, lba: int, nsectors: int) -> List[PendingPage]:
+    def find_covering(self, disk_id: int, lba: Lba,
+                      nsectors: Sectors) -> List[PendingPage]:
         """All pinned pages overlapping the extent (for read overlay)."""
         end = lba + nsectors
         return [
@@ -150,7 +153,7 @@ class BufferManager:
     def pin(
         self,
         disk_id: int,
-        lba: int,
+        lba: Lba,
         data: bytes,
         sector_size: int,
     ) -> Tuple[PendingPage, int]:

@@ -28,6 +28,7 @@ from repro.core.format import (
     BatchEntry, LogDiskHeader, NULL_LBA, RecordHeader, decode_disk_header,
     decode_geometry, encode_disk_header, encode_geometry, encode_record)
 from repro.core.prediction import HeadPositionPredictor
+from repro.units import DataLba, LogLba, Ms
 from repro.core.recovery import RecoveryManager, RecoveryReport
 from repro.core.writeback import WritebackScheduler
 from repro.disk.controller import PRIORITY_READ
@@ -63,7 +64,7 @@ class TrailStats:
     degraded_writes: int = 0
 
     @property
-    def logging_io_ms(self) -> float:
+    def logging_io_ms(self) -> Ms:
         """Total time callers spent blocked on synchronous log writes."""
         return self.sync_writes.total
 
@@ -304,6 +305,7 @@ class TrailDriver(BlockDevice):
         return self.log_drive.geometry.sector_size
 
     def write(self, lba: int, data: bytes, disk_id: int = 0) -> Event:
+        # unit: (lba: data_lba)
         """Synchronous write: the event fires once the data is durable.
 
         The event's value is the write's end-to-end latency in ms.
@@ -325,6 +327,7 @@ class TrailDriver(BlockDevice):
         return event
 
     def read(self, lba: int, nsectors: int, disk_id: int = 0) -> Event:
+        # unit: (lba: data_lba, nsectors: sectors)
         """Read: served from the staging buffer or the data disk (§4.3).
 
         The event's value is the data bytes.
@@ -581,7 +584,7 @@ class TrailDriver(BlockDevice):
         self._next_sequence += 1
 
         record = LiveRecord(sequence_id=sequence, track=track,
-                            header_lba=header_lba, nsectors=total)
+                            header_lba=LogLba(header_lba), nsectors=total)
         if self._live_records:
             log_head = next(iter(self._live_records.values())).header_lba
         else:
@@ -595,8 +598,8 @@ class TrailDriver(BlockDevice):
                 raw = request.data[sector * sector_size:
                                    (sector + 1) * sector_size]
                 entries.append(BatchEntry(
-                    data_lba=request.lba + sector,
-                    log_lba=header_lba + 1 + index,
+                    data_lba=DataLba(request.lba + sector),
+                    log_lba=LogLba(header_lba + 1 + index),
                     first_data_byte=raw[0],
                     data_major=request.disk_id, data_minor=0))
                 payload_sectors.append(raw)
@@ -604,7 +607,8 @@ class TrailDriver(BlockDevice):
 
         header = RecordHeader(
             epoch=epoch, sequence_id=sequence,
-            prev_sect=self._last_record_lba, log_head=log_head,
+            prev_sect=LogLba(self._last_record_lba),
+            log_head=LogLba(log_head),
             entries=tuple(entries))
         blob = b"".join(encode_record(header, payload_sectors, sector_size))
 

@@ -31,7 +31,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.config import MAX_TRAIL_BATCH, TRAIL_SIGNATURE
 from repro.disk.geometry import DiskGeometry, Zone
 from repro.errors import LogFormatError
-from repro.units import SECTOR_SIZE
+from repro.units import SECTOR_SIZE, DataLba, LogLba
 
 #: Marker byte opening every record-header sector.
 HEADER_FIRST_BYTE = 0xFF
@@ -85,9 +85,9 @@ class BatchEntry:
     """One logged sector inside a write record."""
 
     #: Target LBA on the data disk this sector ultimately belongs to.
-    data_lba: int
+    data_lba: DataLba
     #: LBA on the log disk where the payload sector was written.
-    log_lba: int
+    log_lba: LogLba
     #: The payload's original first byte, displaced by the 0x00 marker.
     first_data_byte: int
     #: Major/minor device number of the target data disk.
@@ -107,10 +107,10 @@ class RecordHeader:
     epoch: int
     sequence_id: int
     #: Log-disk LBA of the previous record's header (NULL_LBA if none).
-    prev_sect: int
+    prev_sect: LogLba
     #: Log-disk LBA of the oldest uncommitted record's header at the
     #: time this record was written — the recovery scan bound (§3.3).
-    log_head: int
+    log_head: LogLba
     entries: Tuple[BatchEntry, ...]
     #: CRC-32 of the masked payload sectors as written (torn-record
     #: detection; filled in by :func:`encode_record`).
@@ -232,11 +232,12 @@ def decode_record_header(
             _ENTRY_FMT, sector, offset)
         offset += _ENTRY_SIZE
         entries.append(BatchEntry(
-            data_lba=data_lba, log_lba=log_lba,
+            data_lba=DataLba(data_lba), log_lba=LogLba(log_lba),
             first_data_byte=first_data_byte,
             data_major=major, data_minor=minor))
     return RecordHeader(epoch=epoch, sequence_id=sequence_id,
-                        prev_sect=prev_sect, log_head=log_head,
+                        prev_sect=LogLba(prev_sect),
+                        log_head=LogLba(log_head),
                         entries=tuple(entries), payload_crc=payload_crc,
                         header_crc=header_crc)
 

@@ -30,6 +30,7 @@ from repro.core.recovery import RecoveryReport
 from repro.disk.drive import DiskDrive
 from repro.errors import TrailError
 from repro.sim import Event, Simulation
+from repro.units import Ms
 
 
 class StripedTrailDriver(BlockDevice):
@@ -88,11 +89,13 @@ class StripedTrailDriver(BlockDevice):
     # Block-device interface
 
     def write(self, lba: int, data: bytes, disk_id: int = 0) -> Event:
+        # unit: (lba: data_lba)
         """Route the write to its page-affine stripe."""
         return self._stripe_of(disk_id, lba).write(lba, data,
                                                    disk_id=disk_id)
 
     def read(self, lba: int, nsectors: int, disk_id: int = 0) -> Event:
+        # unit: (lba: data_lba, nsectors: sectors)
         """Read via the owning stripe (its staging buffer holds any
         newer-than-disk contents for this extent)."""
         return self._stripe_of(disk_id, lba).read(lba, nsectors,
@@ -117,7 +120,7 @@ class StripedTrailDriver(BlockDevice):
     # Aggregate statistics
 
     @property
-    def mean_sync_write_ms(self) -> float:
+    def mean_sync_write_ms(self) -> Ms:
         total = 0.0
         count = 0
         for stripe in self.stripes:

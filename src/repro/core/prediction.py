@@ -29,6 +29,7 @@ from repro.disk.drive import DiskDrive
 from repro.disk.geometry import DiskGeometry
 from repro.errors import TrailError
 from repro.sim import Event, LatencyRecorder, Simulation
+from repro.units import Lba, Ms, Sectors, Tracks
 
 
 @dataclass
@@ -50,8 +51,8 @@ class HeadPositionPredictor:
     def __init__(
         self,
         geometry: DiskGeometry,
-        rotation_ms: float,
-        delta_sectors: int = 0,
+        rotation_ms: Ms,
+        delta_sectors: Sectors = 0,
     ) -> None:
         if rotation_ms <= 0:
             raise TrailError(f"rotation time must be positive, got {rotation_ms}")
@@ -71,7 +72,7 @@ class HeadPositionPredictor:
         return self._t0 is not None
 
     @property
-    def reference_age_ms(self) -> Optional[float]:
+    def reference_age_ms(self) -> Optional[Ms]:
         """How long ago the reference was anchored (None if never).
 
         Callers pass the current time; kept as data so the idle
@@ -79,7 +80,7 @@ class HeadPositionPredictor:
         """
         return self._t0
 
-    def set_reference(self, t0: float, lba0: int) -> None:
+    def set_reference(self, t0: Ms, lba0: Lba) -> None:
         """Anchor the reference point after a repositioning access.
 
         ``lba0`` is the block the head just finished reading/writing at
@@ -91,13 +92,13 @@ class HeadPositionPredictor:
         self._t0 = t0
         self._angle0 = ((sector + 1) % spt) / spt
 
-    def predict_angle(self, t1: float) -> float:
+    def predict_angle(self, t1: Ms) -> float:
         """Predicted platter phase in [0, 1) at time ``t1``."""
         if self._t0 is None or self._angle0 is None:
             raise TrailError("prediction requested before a reference was set")
         return (self._angle0 + (t1 - self._t0) / self.rotation_ms) % 1.0
 
-    def predict_sector(self, t1: float, track: int) -> int:
+    def predict_sector(self, t1: Ms, track: Tracks) -> Sectors:
         """Predicted sector index on ``track`` for a write issued at ``t1``.
 
         Applies δ: the returned sector is far enough ahead of the head
@@ -108,7 +109,7 @@ class HeadPositionPredictor:
         base = int(self.predict_angle(t1) * spt)
         return (base + self.delta_sectors) % spt
 
-    def predict_lba(self, t1: float, track: int) -> int:
+    def predict_lba(self, t1: Ms, track: Tracks) -> Lba:
         """Predicted target LBA on ``track`` for a write issued at ``t1``."""
         return (self.geometry.track_first_lba(track)
                 + self.predict_sector(t1, track))
@@ -119,7 +120,7 @@ class HeadPositionPredictor:
         self,
         sim: Simulation,
         drive: DiskDrive,
-        track: int = 1,
+        track: Tracks = 1,
         max_delta: Optional[int] = None,
         samples_per_delta: int = 3,
         consecutive_required: int = 2,

@@ -45,6 +45,7 @@ from repro.disk.drive import DiskDrive
 from repro.disk.geometry import DiskGeometry
 from repro.errors import LogFormatError, MediaError, RecoveryError
 from repro.sim import Event, Simulation
+from repro.units import Ms
 
 
 @dataclass
@@ -100,7 +101,7 @@ class RecoveryReport:
                     or self.chain_broken)
 
     @property
-    def total_ms(self) -> float:
+    def total_ms(self) -> Ms:
         """End-to-end recovery time."""
         return self.locate_ms + self.rebuild_ms + self.writeback_ms
 

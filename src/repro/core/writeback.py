@@ -25,6 +25,7 @@ from repro.disk.controller import PRIORITY_READ, PRIORITY_WRITE
 from repro.disk.drive import DiskDrive
 from repro.errors import DiskHaltedError, MediaError, TrailError
 from repro.sim import Event, Interrupt, Process, Simulation, Store
+from repro.units import Ms
 
 
 class WritebackScheduler:
@@ -37,7 +38,7 @@ class WritebackScheduler:
         buffers: BufferManager,
         reads_preempt_writebacks: bool = True,
         retry_limit: int = 4,
-        retry_base_ms: float = 1.0,
+        retry_base_ms: Ms = 1.0,
     ) -> None:
         if not data_disks:
             raise TrailError("write-back scheduler needs >= 1 data disk")

@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.units import Lba, Ms, Sectors
+
 
 class Op(enum.Enum):
     """Disk command opcode."""
@@ -33,31 +35,31 @@ class IoResult:
     """Completion record for one disk command."""
 
     op: Op
-    lba: int
-    nsectors: int
-    enqueued_at: float
-    started_at: float
-    completed_at: float
-    queue_ms: float
-    overhead_ms: float
-    seek_ms: float
-    rotation_ms: float
-    transfer_ms: float
+    lba: Lba
+    nsectors: Sectors
+    enqueued_at: Ms
+    started_at: Ms
+    completed_at: Ms
+    queue_ms: Ms
+    overhead_ms: Ms
+    seek_ms: Ms
+    rotation_ms: Ms
+    transfer_ms: Ms
     #: Sector payload for reads; None for writes.
     data: Optional[bytes] = None
 
     @property
-    def latency_ms(self) -> float:
+    def latency_ms(self) -> Ms:
         """End-to-end latency including queueing delay."""
         return self.completed_at - self.enqueued_at
 
     @property
-    def service_ms(self) -> float:
+    def service_ms(self) -> Ms:
         """Service time excluding queueing delay."""
         return self.completed_at - self.started_at
 
     @property
-    def positioning_ms(self) -> float:
+    def positioning_ms(self) -> Ms:
         """Mechanical positioning cost (seek + rotational wait)."""
         return self.seek_ms + self.rotation_ms
 
@@ -111,7 +113,7 @@ class DriveStats:
         return self.reads + self.writes
 
     @property
-    def mean_rotation_ms(self) -> float:
+    def mean_rotation_ms(self) -> Ms:
         """Average rotational wait per command (0 if no commands)."""
         return self.rotation_ms / self.commands if self.commands else 0.0
 

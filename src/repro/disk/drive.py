@@ -45,6 +45,7 @@ from repro.disk.sectors import SectorStore
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.sim import (
     Event, Interrupt, PriorityResource, Process, Resource, Simulation)
+from repro.units import Lba, Ms, Sectors, Tracks
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.disk.scheduler import ElevatorResource
@@ -59,7 +60,7 @@ class DiskDrive:
         geometry: DiskGeometry,
         seek: SeekModel,
         rotation: RotationModel,
-        command_overhead_ms: float = 0.5,
+        command_overhead_ms: Ms = 0.5,
         store: Optional[SectorStore] = None,
         name: str = "disk",
         scheduling: str = "priority",
@@ -112,7 +113,7 @@ class DiskDrive:
             self.faults = FaultInjector(plan, drive_name=self.name)
         return self.faults
 
-    def relocate(self, lba: int, nsectors: int) -> int:
+    def relocate(self, lba: Lba, nsectors: Sectors) -> Sectors:
         """Force-remap every unrecoverable sector in an extent to spares.
 
         Used by upper layers (the write-back scheduler) to relocate a
@@ -134,12 +135,13 @@ class DiskDrive:
     # ------------------------------------------------------------------
     # Public command API
 
-    def read(self, lba: int, nsectors: int, priority: int = PRIORITY_READ) -> Process:
+    def read(self, lba: Lba, nsectors: Sectors,
+             priority: int = PRIORITY_READ) -> Process:
         """Submit a read command; the returned process yields an IoResult."""
         return self.submit(Op.READ, lba, nsectors, priority=priority)
 
     def write(
-        self, lba: int, data: bytes, priority: int = PRIORITY_READ,
+        self, lba: Lba, data: bytes, priority: int = PRIORITY_READ,
     ) -> Process:
         """Submit a write command for ``data`` (padded to whole sectors)."""
         sector_size = self.geometry.sector_size
@@ -151,8 +153,8 @@ class DiskDrive:
     def submit(
         self,
         op: Op,
-        lba: int,
-        nsectors: int,
+        lba: Lba,
+        nsectors: Sectors,
         data: Optional[bytes] = None,
         priority: int = PRIORITY_READ,
     ) -> Process:
@@ -199,7 +201,7 @@ class DiskDrive:
     # the whole point of §3.1 is that software must *predict* this)
 
     @property
-    def position_track(self) -> int:
+    def position_track(self) -> Tracks:
         """Track the head currently sits on."""
         return self.geometry.track_of(self._position_cylinder,
                                       self._position_head)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import AddressError, GeometryError
-from repro.units import SECTOR_SIZE
+from repro.units import SECTOR_SIZE, Bytes, Cylinders, Lba, Sectors, Tracks
 
 
 @dataclass(frozen=True)
@@ -110,12 +110,13 @@ class DiskGeometry:
     # ------------------------------------------------------------------
     # Zone lookups
 
-    def zone_of_cylinder(self, cylinder: int) -> int:
+    def zone_of_cylinder(self, cylinder: Cylinders) -> int:
+        # unit: () -> scalar
         """Index of the zone containing ``cylinder``."""
         self._check_cylinder(cylinder)
         return bisect.bisect_right(self._zone_first_cylinder, cylinder) - 1
 
-    def sectors_per_track(self, cylinder: int) -> int:
+    def sectors_per_track(self, cylinder: Cylinders) -> int:
         """SPT of every track on ``cylinder`` (zone-dependent)."""
         if not 0 <= cylinder < self.num_cylinders:
             self._check_cylinder(cylinder)
@@ -125,26 +126,26 @@ class DiskGeometry:
     # ------------------------------------------------------------------
     # Track numbering
 
-    def track_of(self, cylinder: int, head: int) -> int:
+    def track_of(self, cylinder: Cylinders, head: int) -> Tracks:
         """Cylinder-major track index of surface ``head`` on ``cylinder``."""
         self._check_cylinder(cylinder)
         self._check_head(head)
         return cylinder * self.heads + head
 
-    def track_location(self, track: int) -> Tuple[int, int]:
+    def track_location(self, track: Tracks) -> Tuple[int, int]:
         """(cylinder, head) of track index ``track``."""
         self._check_track(track)
         return divmod(track, self.heads)
 
-    def track_sectors(self, track: int) -> int:
+    def track_sectors(self, track: Tracks) -> Sectors:
         """Number of sectors on ``track``."""
         return self.track_info(track)[2]
 
-    def track_first_lba(self, track: int) -> int:
+    def track_first_lba(self, track: Tracks) -> Lba:
         """LBA of sector 0 of ``track``."""
         return self.track_info(track)[3]
 
-    def track_info(self, track: int) -> Tuple[int, int, int, int]:
+    def track_info(self, track: Tracks) -> Tuple[int, int, int, int]:
         """(cylinder, head, sectors-per-track, first LBA) of ``track``.
 
         Memoized: the geometry is immutable, and the drive service loop
@@ -166,11 +167,11 @@ class DiskGeometry:
             self._track_info[track] = info
         return info
 
-    def track_of_lba(self, lba: int) -> int:
+    def track_of_lba(self, lba: Lba) -> Tracks:
         """Track index containing ``lba``."""
         return self.track_extent_of_lba(lba)[0]
 
-    def track_extent_of_lba(self, lba: int) -> Tuple[int, int, int]:
+    def track_extent_of_lba(self, lba: Lba) -> Tuple[int, int, int]:
         """(track, track's first LBA, sectors on track) containing ``lba``.
 
         One zone lookup instead of the three an LBA->CHS->track chain
@@ -189,7 +190,7 @@ class DiskGeometry:
     # ------------------------------------------------------------------
     # LBA <-> CHS
 
-    def lba_to_chs(self, lba: int) -> CHS:
+    def lba_to_chs(self, lba: Lba) -> CHS:
         """Convert a logical block address to its physical location."""
         if not 0 <= lba < self.total_sectors:
             self._check_lba(lba)
@@ -201,7 +202,8 @@ class DiskGeometry:
         return CHS(self._zone_first_cylinder[zone_index] + cylinders_into_zone,
                    head, sector)
 
-    def chs_to_lba(self, cylinder: int, head: int, sector: int) -> int:
+    def chs_to_lba(self, cylinder: Cylinders, head: int,
+                   sector: Sectors) -> Lba:
         """Convert a physical location to its logical block address."""
         self._check_cylinder(cylinder)
         self._check_head(head)
@@ -215,7 +217,7 @@ class DiskGeometry:
     # Capacity
 
     @property
-    def capacity_bytes(self) -> int:
+    def capacity_bytes(self) -> Bytes:
         """Total formatted capacity in bytes."""
         return self.total_sectors * self.sector_size
 
@@ -241,7 +243,7 @@ class DiskGeometry:
             raise AddressError(
                 f"LBA {lba} out of range [0, {self.total_sectors})")
 
-    def check_extent(self, lba: int, nsectors: int) -> None:
+    def check_extent(self, lba: Lba, nsectors: Sectors) -> None:
         """Validate that ``nsectors`` starting at ``lba`` fit on the disk."""
         self._check_lba(lba)
         if nsectors < 1:

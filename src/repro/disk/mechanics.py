@@ -21,7 +21,7 @@ import math
 from typing import Callable, Dict, Optional
 
 from repro.errors import GeometryError
-from repro.units import rpm_to_rotation_ms
+from repro.units import Cylinders, Ms, Sectors, rpm_to_rotation_ms
 
 
 class SeekModel:
@@ -35,11 +35,11 @@ class SeekModel:
 
     def __init__(
         self,
-        num_cylinders: int,
-        track_to_track_ms: float,
-        average_ms: float,
-        full_stroke_ms: float,
-        head_switch_ms: float = 1.5,
+        num_cylinders: Cylinders,
+        track_to_track_ms: Ms,
+        average_ms: Ms,
+        full_stroke_ms: Ms,
+        head_switch_ms: Ms = 1.5,
     ) -> None:
         if num_cylinders < 2:
             raise GeometryError(f"need >= 2 cylinders, got {num_cylinders}")
@@ -102,7 +102,8 @@ class SeekModel:
         self._b = rows[1][3] / rows[1][1]
         self._c = rows[2][3] / rows[2][2]
 
-    def seek_time(self, from_cylinder: int, to_cylinder: int) -> float:
+    def seek_time(self, from_cylinder: Cylinders,
+                  to_cylinder: Cylinders) -> Ms:
         """Arm travel time between two cylinders (0 if they are equal)."""
         distance = to_cylinder - from_cylinder
         if distance == 0:
@@ -121,9 +122,9 @@ class SeekModel:
         return time
 
     def reposition_time(
-        self, from_cylinder: int, from_head: int,
-        to_cylinder: int, to_head: int,
-    ) -> float:
+        self, from_cylinder: Cylinders, from_head: int,
+        to_cylinder: Cylinders, to_head: int,
+    ) -> Ms:
         """Time to move the active head between two tracks.
 
         Same track: free.  Same cylinder: one head switch.  Different
@@ -160,11 +161,12 @@ class RotationModel:
         self._sector_time_cache: Dict[int, float] = {}
 
     @property
-    def average_rotational_latency_ms(self) -> float:
+    def average_rotational_latency_ms(self) -> Ms:
         """Expected wait for a random target sector: half a revolution."""
         return self.rotation_ms / 2.0
 
-    def angle_at(self, time_ms: float) -> float:
+    def angle_at(self, time_ms: Ms) -> float:
+        # unit: () -> scalar
         """Platter phase in [0, 1) at ``time_ms`` (fraction of a rev)."""
         phase = time_ms / self.rotation_ms
         if self._phase_drift is not None:
@@ -182,13 +184,14 @@ class RotationModel:
             self._sector_time_cache[sectors_per_track] = time
         return time
 
-    def sector_under_head(self, time_ms: float, sectors_per_track: int) -> int:
+    def sector_under_head(self, time_ms: Ms,
+                          sectors_per_track: int) -> Sectors:
         """Index of the sector whose angular span covers the head now."""
         return int(self.angle_at(time_ms) * sectors_per_track) % sectors_per_track
 
     def time_until_sector(
-        self, time_ms: float, sector: int, sectors_per_track: int,
-    ) -> float:
+        self, time_ms: Ms, sector: Sectors, sectors_per_track: int,
+    ) -> Ms:
         """Rotational wait from ``time_ms`` until the *start* of ``sector``.
 
         Returns a value in [0, rotation_ms).  If the head sits exactly on

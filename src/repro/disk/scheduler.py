@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Callable, List
 
 from repro.sim import Request, Resource, Simulation
+from repro.units import Cylinders
 
 
 class ElevatorResource(Resource):
@@ -35,7 +36,7 @@ class ElevatorResource(Resource):
         self._head_cylinder = head_cylinder
         self._waiting: List[Request] = []
 
-    def request_at(self, cylinder: int, priority: int = 0) -> Request:
+    def request_at(self, cylinder: Cylinders, priority: int = 0) -> Request:
         """Claim the drive for a command targeting ``cylinder``."""
         request = Request(self, priority)
         request.cylinder = cylinder

@@ -26,7 +26,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import AddressError
-from repro.units import SECTOR_SIZE
+from repro.units import SECTOR_SIZE, Lba, Sectors
 
 
 class SectorStore:
@@ -35,7 +35,8 @@ class SectorStore:
     __slots__ = ("total_sectors", "sector_size", "_zero", "_sectors",
                  "_shared", "_extent_cache")
 
-    def __init__(self, total_sectors: int, sector_size: int = SECTOR_SIZE) -> None:
+    def __init__(self, total_sectors: Sectors,
+                 sector_size: int = SECTOR_SIZE) -> None:
         if total_sectors < 1:
             raise AddressError(f"total_sectors must be >= 1, got {total_sectors}")
         self.total_sectors = total_sectors
@@ -50,7 +51,7 @@ class SectorStore:
         """Number of sectors that have ever been written."""
         return len(self._sectors)
 
-    def write_sector(self, lba: int, data: bytes) -> None:
+    def write_sector(self, lba: Lba, data: bytes) -> None:
         """Store one sector of exactly ``sector_size`` bytes at ``lba``."""
         if lba < 0 or lba >= self.total_sectors:
             self._check_lba(lba)
@@ -63,13 +64,13 @@ class SectorStore:
         self._extent_cache = None
         self._sectors[lba] = bytes(data)
 
-    def read_sector(self, lba: int) -> bytes:
+    def read_sector(self, lba: Lba) -> bytes:
         """Read one sector; unwritten sectors are all-zeros."""
         if lba < 0 or lba >= self.total_sectors:
             self._check_lba(lba)
         return self._sectors.get(lba, self._zero)
 
-    def write(self, lba: int, data: bytes) -> None:
+    def write(self, lba: Lba, data: bytes) -> None:
         """Store a multi-sector extent; ``data`` is padded to whole sectors."""
         if not data:
             raise AddressError("cannot write an empty extent")
@@ -96,7 +97,7 @@ class SectorStore:
             sectors[lba + index] = data[start:start + size]
             start += size
 
-    def read(self, lba: int, nsectors: int) -> bytes:
+    def read(self, lba: Lba, nsectors: Sectors) -> bytes:
         """Read ``nsectors`` contiguous sectors starting at ``lba``."""
         if lba < 0 or nsectors < 1 or lba + nsectors > self.total_sectors:
             self._check_extent(lba, nsectors)
@@ -109,7 +110,7 @@ class SectorStore:
         zero = self._zero
         return b"".join([get(lba + index, zero) for index in range(nsectors)])
 
-    def is_written(self, lba: int) -> bool:
+    def is_written(self, lba: Lba) -> bool:
         """True if ``lba`` has been written since format/clear."""
         if lba < 0 or lba >= self.total_sectors:
             self._check_lba(lba)
@@ -125,7 +126,7 @@ class SectorStore:
             self._sectors.clear()
         self._extent_cache = None
 
-    def erase(self, lba: int, nsectors: int) -> None:
+    def erase(self, lba: Lba, nsectors: Sectors) -> None:
         """Zero an extent (used when Trail's format tool wipes the log)."""
         if lba < 0 or nsectors < 1 or lba + nsectors > self.total_sectors:
             self._check_extent(lba, nsectors)

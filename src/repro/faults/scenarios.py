@@ -157,7 +157,8 @@ def _scenario_dying_log_disk(seed: int) -> ScenarioResult:
     # Every usable log track beyond the first two is unwritable and the
     # spare pool is empty, so the writer hits an unrecoverable sector
     # as soon as it advances past them.
-    first_lba = geometry.track_first_lba(6)
+    first_bad_track = 6
+    first_lba = geometry.track_first_lba(first_bad_track)
     bad = frozenset(range(first_lba, geometry.total_sectors))
     bed.log_drive.attach_faults(FaultPlan(
         seed=seed, latent_bad_sectors=bad, retry_limit=1,

@@ -16,7 +16,7 @@ sit in the file system's dirty cache until ``fsync``/``sync_all``.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Set, Tuple
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.blockdev import BlockDevice
 from repro.fs.structures import (
@@ -24,7 +24,7 @@ from repro.fs.structures import (
     FsError, INDIRECT_POINTERS, INODE_BYTES, INODES_PER_BLOCK, Inode,
     MODE_DIR, MODE_FILE, NO_BLOCK, Superblock, decode_dirents,
     encode_dirent)
-from repro.sim import Simulation
+from repro.sim import Event, Simulation
 
 _SUPER_BLOCK = 0
 _BITMAP_BLOCK = 1
@@ -70,7 +70,7 @@ class FileSystem:
     @classmethod
     def mkfs(cls, sim: Simulation, device: BlockDevice,
              total_blocks: int, disk_id: int = 0,
-             start_lba: int = 0) -> Generator:
+             start_lba: int = 0) -> Generator[Event, Any, "FileSystem"]:
         """Create an empty file system; run as a process.
 
         Returns a mounted :class:`FileSystem`.
@@ -95,7 +95,7 @@ class FileSystem:
         yield from fs._flush_metadata()
         return fs
 
-    def mount(self) -> Generator:
+    def mount(self) -> Generator[Event, Any, "FileSystem"]:
         """Read and validate the on-device image; run as a process."""
         if self._mounted:
             raise FsError("already mounted")
@@ -113,7 +113,7 @@ class FileSystem:
         yield from self._load_root()
         return self
 
-    def _load_root(self) -> Generator:
+    def _load_root(self) -> Generator[Event, Any, None]:
         self._root = {}
         root = self._inodes[_ROOT_INODE]
         if root.mode != MODE_DIR:
@@ -125,7 +125,7 @@ class FileSystem:
     # ------------------------------------------------------------------
     # Public file API (all generators: drive via sim processes)
 
-    def create(self, name: str) -> Generator:
+    def create(self, name: str) -> Generator[Event, Any, "FileHandle"]:
         """Create an empty file; metadata is forced synchronously."""
         self._check_mounted()
         if name in self._root:
@@ -152,7 +152,7 @@ class FileSystem:
         return sorted(self._root)
 
     def write(self, handle: FileHandle, offset: int, data: bytes,
-              sync: bool = False) -> Generator:
+              sync: bool = False) -> Generator[Event, Any, int]:
         """Write ``data`` at ``offset``; ``sync=True`` is O_SYNC."""
         self._check_mounted()
         if offset < 0 or not data:
@@ -185,7 +185,7 @@ class FileSystem:
         return len(data)
 
     def read(self, handle: FileHandle, offset: int,
-             length: int) -> Generator:
+             length: int) -> Generator[Event, Any, bytes]:
         """Read up to ``length`` bytes from ``offset``."""
         self._check_mounted()
         inode = self._inodes[handle.inode_number]
@@ -209,7 +209,7 @@ class FileSystem:
             position += take
         return bytes(out)
 
-    def fsync(self, handle: FileHandle) -> Generator:
+    def fsync(self, handle: FileHandle) -> Generator[Event, Any, None]:
         """Force the file's dirty data and all metadata."""
         self._check_mounted()
         blocks = yield from self._file_blocks(handle.inode_number)
@@ -219,7 +219,7 @@ class FileSystem:
                     block, self._dirty_blocks.pop(block))
         yield from self._flush_metadata()
 
-    def sync_all(self) -> Generator:
+    def sync_all(self) -> Generator[Event, Any, None]:
         """Force every dirty block and all metadata (like sync(2))."""
         self._check_mounted()
         for block in sorted(self._dirty_blocks):
@@ -227,7 +227,7 @@ class FileSystem:
                                          self._dirty_blocks.pop(block))
         yield from self._flush_metadata()
 
-    def unlink(self, name: str) -> Generator:
+    def unlink(self, name: str) -> Generator[Event, Any, None]:
         """Remove a file, freeing its inode and blocks."""
         self._check_mounted()
         inode_number = self._root.pop(name, None)
@@ -292,25 +292,25 @@ class FileSystem:
     def _lba_of_block(self, block: int) -> int:
         return self.start_lba + block * BLOCK_SECTORS
 
-    def _read_block(self, block: int) -> Generator:
-        data = yield self.device.read(self._lba_of_block(block),
+    def _read_block(self, block: int) -> Generator[Event, Any, bytes]:
+        data: bytes = yield self.device.read(self._lba_of_block(block),
                                       BLOCK_SECTORS,
                                       disk_id=self.disk_id)
         return data
 
-    def _read_data_block(self, block: int) -> Generator:
+    def _read_data_block(self, block: int) -> Generator[Event, Any, bytes]:
         cached = self._dirty_blocks.get(block)
         if cached is not None:
             return cached
         return (yield from self._read_block(block))
 
-    def _write_block(self, block: int, data: bytes) -> Generator:
+    def _write_block(self, block: int, data: bytes) -> Generator[Event, Any, None]:
         if len(data) != BLOCK_BYTES:
             raise FsError("block writes must be exactly one block")
         yield self.device.write(self._lba_of_block(block), data,
                                 disk_id=self.disk_id)
 
-    def _flush_metadata(self) -> Generator:
+    def _flush_metadata(self) -> Generator[Event, Any, None]:
         yield from self._write_block(_BITMAP_BLOCK,
                                      self._bitmap.encode())
         table = b"".join(inode.encode() for inode in self._inodes)
@@ -334,7 +334,7 @@ class FileSystem:
         raise FsError("out of inodes")
 
     def _block_of(self, inode_number: int, block_index: int,
-                  allocate: bool) -> Generator:
+                  allocate: bool) -> Generator[Event, Any, int]:
         """Physical block of a file's ``block_index``-th block."""
         inode = self._inodes[inode_number]
         if block_index < DIRECT_POINTERS:
@@ -366,7 +366,7 @@ class FileSystem:
             self._dirty_blocks[inode.indirect] = patched
         return block
 
-    def _file_blocks(self, inode_number: int) -> Generator:
+    def _file_blocks(self, inode_number: int) -> Generator[Event, Any, List[int]]:
         """All allocated physical blocks of a file, plus its indirect."""
         inode = self._inodes[inode_number]
         blocks = [p for p in inode.direct if p != NO_BLOCK]
@@ -383,7 +383,7 @@ class FileSystem:
     # ------------------------------------------------------------------
     # Root directory maintenance
 
-    def _read_file_bytes(self, inode_number: int) -> Generator:
+    def _read_file_bytes(self, inode_number: int) -> Generator[Event, Any, bytes]:
         inode = self._inodes[inode_number]
         out = bytearray()
         for block_index in range(inode.blocks_for_size()):
@@ -396,7 +396,7 @@ class FileSystem:
         return bytes(out[:inode.size])
 
     def _append_root_entry(self, inode_number: int,
-                           name: str) -> Generator:
+                           name: str) -> Generator[Event, Any, None]:
         root = self._inodes[_ROOT_INODE]
         entry = encode_dirent(inode_number, name)
         offset = root.size
@@ -411,7 +411,7 @@ class FileSystem:
         self._dirty_meta.add("inodes")
         yield from self._write_block(block, patched)
 
-    def _rewrite_root_directory(self) -> Generator:
+    def _rewrite_root_directory(self) -> Generator[Event, Any, None]:
         root = self._inodes[_ROOT_INODE]
         entries = b"".join(encode_dirent(number, name)
                            for name, number in sorted(self._root.items()))

@@ -20,13 +20,13 @@ contents by XOR across the survivors, which works on real bytes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional, Sequence
+from typing import Any, Generator, List, Optional, Sequence, Tuple
 
 from repro.disk.controller import PRIORITY_READ
 from repro.disk.drive import DiskDrive
 from repro.disk.geometry import DiskGeometry, uniform_geometry
 from repro.errors import DiskError
-from repro.sim import Process, Simulation
+from repro.sim import Event, Process, Simulation
 
 
 @dataclass
@@ -94,7 +94,7 @@ class Raid5Array:
     # ------------------------------------------------------------------
     # Address mapping (left-symmetric layout)
 
-    def _locate(self, unit_index: int):
+    def _locate(self, unit_index: int) -> Tuple[int, int, int, int]:
         """Map a logical stripe-unit index to (drive, member LBA)."""
         width = len(self.drives)
         stripe, offset = divmod(unit_index, width - 1)
@@ -152,7 +152,8 @@ class Raid5Array:
 
     # ------------------------------------------------------------------
 
-    def _split_units(self, lba: int, nsectors: int):
+    def _split_units(self, lba: int,
+                     nsectors: int) -> List[Tuple[int, int, int]]:
         """Split an extent into per-stripe-unit (unit, offset, count)."""
         pieces = []
         current = lba
@@ -166,7 +167,8 @@ class Raid5Array:
             remaining -= take
         return pieces
 
-    def _read(self, lba: int, nsectors: int, priority: int) -> Generator:
+    def _read(self, lba: int, nsectors: int,
+              priority: int) -> Generator[Event, Any, "RaidResult"]:
         started = self.sim.now
         self.stats.reads += 1
         chunks: List[bytes] = []
@@ -197,7 +199,8 @@ class Raid5Array:
                           started_at=started, completed_at=self.sim.now,
                           data=b"".join(chunks), member_ios=member_ios)
 
-    def _write(self, lba: int, data: bytes, priority: int) -> Generator:
+    def _write(self, lba: int, data: bytes,
+               priority: int) -> Generator[Event, Any, "RaidResult"]:
         started = self.sim.now
         self.stats.writes += 1
         nsectors = len(data) // self.sector_size
@@ -241,7 +244,7 @@ class Raid5Array:
                           member_ios=member_ios)
 
     def _small_write(self, unit: int, offset: int, count: int,
-                     chunk: bytes, priority: int) -> Generator:
+                     chunk: bytes, priority: int) -> Generator[Event, Any, int]:
         """Read-modify-write: the RAID-5 small-write penalty."""
         data_drive, parity_drive, stripe, member_lba = self._locate(unit)
         target = member_lba + offset
@@ -278,7 +281,7 @@ class Raid5Array:
 
     def _full_stripe_write(self, first_unit: int,
                            payloads: List[bytes],
-                           priority: int) -> Generator:
+                           priority: int) -> Generator[Event, Any, int]:
         """Write a whole stripe: parity computed without reads."""
         parity = _xor(payloads)
         writes = []

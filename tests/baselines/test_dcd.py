@@ -22,6 +22,13 @@ def make_dcd(sim, nvram_bytes=16 * 1024, destage_idle_ms=5.0):
 
 
 class TestWritePath:
+    def test_nvram_write_cost_is_converted_from_microseconds(self, sim):
+        # Regression (found by the trailunits sweep): nvram_write_us
+        # was stored as ms unconverted, overstating NVRAM latency —
+        # DCD's whole §2 advantage — by 1000x.
+        driver, _cache, _data = make_dcd(sim)
+        assert driver.nvram_write_ms == pytest.approx(0.01)
+
     def test_nvram_write_is_nearly_instant(self, sim):
         driver, _cache, _data = make_dcd(sim)
 

@@ -18,7 +18,8 @@ import pytest
 
 SRC = Path(__file__).resolve().parents[2] / "src"
 
-STRICT_PACKAGES = ("repro/core", "repro/disk", "repro/sim", "repro/faults")
+STRICT_PACKAGES = ("repro/core", "repro/disk", "repro/sim", "repro/faults",
+                   "repro/fs", "repro/raid")
 STRICT_MODULES = ("repro/errors.py", "repro/units.py", "repro/blockdev.py")
 
 #: Generic aliases that mypy --strict rejects unparameterized

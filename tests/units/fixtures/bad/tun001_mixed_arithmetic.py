@@ -1,0 +1,7 @@
+"""Fixture: incompatible dimensions combined in arithmetic (TUN001)."""
+
+from repro.units import Bytes, Tracks
+
+
+def advance_position(track: Tracks, extra: Bytes) -> Tracks:
+    return track + extra  # expect: TUN001

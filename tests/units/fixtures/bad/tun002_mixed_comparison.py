@@ -1,0 +1,7 @@
+"""Fixture: values of different dimensions compared (TUN002)."""
+
+from repro.units import Bytes, Ms
+
+
+def deadline_passed(elapsed: Ms, budget: Bytes) -> bool:
+    return elapsed > budget  # expect: TUN002

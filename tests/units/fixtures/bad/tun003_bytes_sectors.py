@@ -1,0 +1,11 @@
+"""Fixture: a byte count used as a sector count, unconverted (TUN003).
+
+The classic 512x bug: ``sectors_for`` (or ``// SECTOR_SIZE``) is the
+only legal way from bytes to sectors.
+"""
+
+from repro.units import Bytes, Sectors
+
+
+def sectors_needed(payload: Bytes) -> Sectors:
+    return payload  # expect: TUN003

@@ -1,0 +1,7 @@
+"""Fixture: seconds added to milliseconds, unconverted (TUN004)."""
+
+from repro.units import Ms, Seconds
+
+
+def total_latency(budget: Seconds, overhead: Ms) -> Ms:
+    return budget + overhead  # expect: TUN004

@@ -1,0 +1,19 @@
+"""Fixture: a log-disk address reaching data-disk contexts (TUN005).
+
+A record *header* lives on the log disk; destaging it to the data
+disk writes garbage to a perfectly well-formed location.
+"""
+
+from repro.units import DataLba, LogLba
+
+
+def write_data_sector(lba: DataLba, payload: bytes) -> None:
+    raise NotImplementedError
+
+
+def destage_header(header: LogLba, payload: bytes) -> None:
+    write_data_sector(header, payload)  # expect: TUN005
+
+
+def rewrap_header(header: LogLba) -> DataLba:
+    return DataLba(header)  # expect: TUN005

@@ -1,0 +1,15 @@
+"""Fixture: a data-disk address reaching log-disk contexts (TUN006)."""
+
+from repro.units import DataLba, LogLba
+
+
+def follow_chain(prev_record: LogLba) -> None:
+    raise NotImplementedError
+
+
+def replay_target(target: DataLba) -> None:
+    follow_chain(target)  # expect: TUN006
+
+
+def rewrap_target(target: DataLba) -> LogLba:
+    return LogLba(target)  # expect: TUN006

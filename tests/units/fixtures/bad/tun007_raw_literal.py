@@ -1,0 +1,14 @@
+"""Fixture: a magic number passed where a dimensioned value is due
+(TUN007).  Is 64 a sector count or a byte count?  The call site hides
+it; ``KiB(32)`` or a named constant would not.
+"""
+
+from repro.units import Lba, Sectors
+
+
+def submit_io(lba: Lba, nsectors: Sectors) -> None:
+    raise NotImplementedError
+
+
+def flush_tail(tail: Lba) -> None:
+    submit_io(tail, 64)  # expect: TUN007

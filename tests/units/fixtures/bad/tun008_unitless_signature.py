@@ -1,0 +1,8 @@
+"""Fixture: a public signature whose names advertise dimensions that
+nothing declares (TUN008) — exactly the code the flow analysis cannot
+check.
+"""
+
+
+def reserve_extent(start_lba, nsectors):  # expect: TUN008
+    return start_lba + nsectors

@@ -1,0 +1,34 @@
+"""Fixture: dimension-correct code the analyzer must stay quiet on.
+
+Every legal idiom the rules must not misfire on: converter helpers,
+SECTOR_SIZE arithmetic, position +/- offset, position - position =
+distance, and the generic ``Lba`` unifying with a specific space.
+"""
+
+from repro.units import (
+    SECTOR_SIZE, Bytes, Lba, LogLba, Ms, Seconds, Sectors, sectors_for,
+    seconds)
+
+
+def span_sectors(payload: Bytes) -> Sectors:
+    return sectors_for(payload)
+
+
+def span_bytes(nsectors: Sectors) -> Bytes:
+    return nsectors * SECTOR_SIZE
+
+
+def advance(lba: Lba, nsectors: Sectors) -> Lba:
+    return lba + nsectors
+
+
+def distance(first: Lba, last: Lba) -> Sectors:
+    return last - first
+
+
+def widen(head: LogLba) -> Lba:
+    return head
+
+
+def timeout_ms(budget: Seconds) -> Ms:
+    return seconds(budget)

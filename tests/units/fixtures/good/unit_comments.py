@@ -1,0 +1,17 @@
+"""Fixture: ``# unit:`` signature comments seed dims like annotations.
+
+The comment grammar is the annotation escape hatch for signatures
+that cannot (or should not) carry ``repro.units`` aliases; the flow
+analysis must honor it, including the ``-> scalar`` override for
+misleading names.
+"""
+
+
+def destage(lba, nsectors):
+    # unit: (lba: data_lba, nsectors: sectors)
+    return lba + nsectors
+
+
+def zone_of_cylinder(cylinder):
+    # unit: (cylinder: cylinders) -> scalar
+    return cylinder // 120

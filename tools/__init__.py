@@ -1,0 +1,7 @@
+"""Repo-native analysis tools, runnable as ``python -m tools.<name>``.
+
+``trailint`` and ``trailsan`` are also importable as top-level packages
+with ``PYTHONPATH=tools`` (the historical spelling used by ``make
+lint`` / ``make trailsan``); ``tools.analysis`` is the shared analyzer
+runtime they and ``tools.trailunits`` are built on.
+"""

@@ -1,0 +1,103 @@
+"""The one argparse front-end every analyzer shares.
+
+``main(spec, argv)`` reproduces the CLI contract trailint established:
+positional paths, ``--format human|json`` (``--json`` is sugar),
+``--select``/``--ignore`` code lists, ``--root``, ``--list-rules``;
+exit 0 clean, 1 findings, 2 usage or I/O error.  Output strings are
+prefixed with the tool name so the three analyzers stay
+indistinguishable in CI logs except for that name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Set
+
+from tools.analysis.engine import ToolSpec, run
+
+
+def _parse_codes(spec: ToolSpec,
+                 raw: Optional[str]) -> Optional[Set[str]]:
+    if raw is None:
+        return None
+    codes = {code.strip().upper() for code in raw.split(",")
+             if code.strip()}
+    known = set(spec.registry.codes())
+    unknown = codes - known
+    if unknown:
+        print(f"{spec.name}: unknown rule code(s): "
+              f"{', '.join(sorted(unknown))}", file=sys.stderr)
+        raise SystemExit(2)
+    return codes
+
+
+def _list_rules(spec: ToolSpec) -> None:
+    for rule in spec.registry.all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "all files"
+        print(f"{rule.code}  {rule.name}")
+        print(f"        {rule.summary}")
+        print(f"        scope: {scope}")
+        if rule.exempt:
+            print(f"        exempt: {', '.join(rule.exempt)}")
+
+
+def main(spec: ToolSpec, argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog=spec.name,
+                                     description=spec.description)
+    parser.add_argument("paths", nargs="*",
+                        default=list(spec.default_paths),
+                        help="files or directories to analyze "
+                             f"(default: {' '.join(spec.default_paths)})")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="output format")
+    parser.add_argument("--json", dest="format", action="store_const",
+                        const="json", help="shorthand for --format json")
+    parser.add_argument("--select", metavar="CODES",
+                        help="comma-separated rule codes to run "
+                             "exclusively")
+    parser.add_argument("--ignore", metavar="CODES",
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--root", default=None,
+                        help="repo root for relative paths and rule "
+                             "scopes (default: cwd)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every registered rule and exit")
+    args = parser.parse_args(argv)
+
+    spec.load_rules()
+    if args.list_rules:
+        _list_rules(spec)
+        return 0
+
+    config = spec.make_config()
+    config.select = _parse_codes(spec, args.select)
+    config.ignore = _parse_codes(spec, args.ignore) or set()
+    try:
+        report = run(spec, args.paths, root=args.root, config=config)
+    except FileNotFoundError as exc:
+        print(f"{spec.name}: {exc}", file=sys.stderr)
+        return 2
+
+    findings = report.findings
+    if args.format == "json":
+        counts: Dict[str, int] = {}
+        for finding in findings:
+            counts[finding.code] = counts.get(finding.code, 0) + 1
+        print(json.dumps({
+            "files_checked": report.files_checked,
+            "findings": [finding.as_dict() for finding in findings],
+            "counts": dict(sorted(counts.items())),
+            "suppressed": report.suppressed,
+        }, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        noun = "file" if report.files_checked == 1 else "files"
+        if findings:
+            print(f"{spec.name}: {len(findings)} finding(s) in "
+                  f"{report.files_checked} {noun}")
+        else:
+            print(f"{spec.name}: {report.files_checked} {noun} clean")
+    return 1 if findings else 0

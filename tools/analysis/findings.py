@@ -1,0 +1,31 @@
+"""The one :class:`Finding` shape every analyzer reports.
+
+Kept byte-compatible with the pre-extraction trailint/trailsan
+dataclasses: same fields, same ordering, same ``render`` and
+``as_dict`` output, so reporter output and JSON schemas are unchanged
+by the move onto the shared runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: " \
+               f"{self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"path": self.path, "line": self.line, "col": self.col,
+                "code": self.code, "message": self.message}

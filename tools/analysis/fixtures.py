@@ -1,0 +1,58 @@
+"""Fixture-running helpers shared by the analyzer test suites.
+
+Known-good / known-bad fixture files drive every analyzer's tests.
+This module gives those suites one way to analyze a single fixture
+in-process and one way to declare expectations *inside* the fixture::
+
+    total = nbytes + nsectors    # expect: TUN001
+
+``expected_findings`` collects those markers as ``(code, line)`` pairs
+so a test can assert the analyzer reports exactly the seeded
+violations — same codes, same lines, nothing extra.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Set, Tuple
+
+from tools.analysis.engine import AnalyzerConfig, ToolSpec, run_paths
+from tools.analysis.findings import Finding
+
+_EXPECT = re.compile(r"#\s*expect:\s*(?P<codes>[A-Z]{3}\d{3}"
+                     r"(?:\s*,\s*[A-Z]{3}\d{3})*)")
+
+
+def analyze_fixture(spec: ToolSpec, path: str,
+                    root: str) -> List[Finding]:
+    """Analyze one fixture file with the full rule set."""
+    findings, _ = run_paths(spec, [path], root=root)
+    return findings
+
+
+def analyze_narrowed(spec: ToolSpec, path: str, root: str,
+                     select: Sequence[str]) -> List[Finding]:
+    """Analyze one fixture with only ``select`` rules (no hygiene)."""
+    spec.load_rules()
+    config = spec.make_config()
+    config.select = set(select)
+    findings, _ = run_paths(spec, [path], root=root, config=config)
+    return findings
+
+
+def expected_findings(path: str) -> Set[Tuple[str, int]]:
+    """``(code, line)`` pairs declared by ``# expect:`` markers."""
+    expected: Set[Tuple[str, int]] = set()
+    with open(path, encoding="utf-8") as handle:
+        for lineno, text in enumerate(handle, start=1):
+            match = _EXPECT.search(text)
+            if match is None:
+                continue
+            for code in match.group("codes").replace(" ", "").split(","):
+                expected.add((code, lineno))
+    return expected
+
+
+def found_pairs(findings: Sequence[Finding]) -> Set[Tuple[str, int]]:
+    """``(code, line)`` pairs of actual findings, for set comparison."""
+    return {(finding.code, finding.line) for finding in findings}

@@ -1,232 +1,80 @@
-"""File discovery, suppression handling and the lint driver loop.
+"""trailint's binding to the shared analyzer runtime.
 
-The engine owns everything that is not a rule: walking the input
-paths, parsing each file once (AST + comment tokens), matching rules
-against paths, applying ``# trailint: disable=...`` suppressions, and
-policing the suppressions themselves (TRL009).
+Everything operational (walking, parsing, suppressions, hygiene) lives
+in :mod:`tools.analysis`; this module keeps trailint's public surface
+— ``LintConfig``, ``FileContext``, ``lint_file``, ``run_paths``,
+``DEFAULT_EXCLUDE_PATTERNS`` — exactly as it was before the
+extraction, now expressed through a :class:`ToolSpec`.
 """
 
 from __future__ import annotations
 
-import ast
-import io
-import os
-import re
-import tokenize
-from dataclasses import dataclass, field
-from fnmatch import fnmatch
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
-from trailint.registry import Rule, all_rules
+from tools.analysis.engine import (
+    AnalyzerConfig, FileContext, ParsedFile, ToolSpec, check_file,
+    parse_file)
+from tools.analysis.engine import run_paths as _shared_run_paths
+from tools.analysis.findings import Finding
+
+from trailint.registry import REGISTRY, Rule
+
+__all__ = [
+    "DEFAULT_EXCLUDE_PATTERNS", "FileContext", "Finding", "LintConfig",
+    "SPEC", "TrailintSpec", "lint_file", "run_paths",
+]
 
 #: Paths (posix relpaths, fnmatch) never linted when discovered by a
 #: directory walk.  The lint fixtures are *deliberately* bad code; they
 #: are linted by passing them explicitly.
 DEFAULT_EXCLUDE_PATTERNS: Tuple[str, ...] = (
     "tests/lint/fixtures/*",
+    "tests/units/fixtures/*",
 )
-
-#: Directory basenames skipped during the walk.
-_SKIP_DIRS = {
-    "__pycache__", ".git", ".mypy_cache", ".pytest_cache", ".hypothesis",
-}
-
-#: ``# trailint: disable=TRLnnn[,TRLnnn...]`` — trailing, suppresses on
-#: its own line.  ``disable-file`` on a comment-only line suppresses
-#: for the whole file.  (Spelled with ``nnn`` here so the self-lint
-#: does not read this comment as a real suppression.)
-_SUPPRESS_RE = re.compile(
-    r"#\s*trailint:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
-    r"(?P<codes>TRL\d{3}(?:\s*,\s*TRL\d{3})*)")
-
-
-@dataclass(frozen=True, order=True)
-class Finding:
-    """One rule violation at a location."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: " \
-               f"{self.code} {self.message}"
-
-    def as_dict(self) -> Dict[str, object]:
-        return {"path": self.path, "line": self.line, "col": self.col,
-                "code": self.code, "message": self.message}
 
 
 @dataclass
-class LintConfig:
+class LintConfig(AnalyzerConfig):
     """Which rules run and which files are skipped."""
 
-    select: Optional[Set[str]] = None   # None = all registered rules
-    ignore: Set[str] = field(default_factory=set)
     exclude: Tuple[str, ...] = DEFAULT_EXCLUDE_PATTERNS
 
     def rules(self) -> List[Rule]:
-        chosen = []
-        for rule in all_rules():
-            if self.select is not None and rule.code not in self.select:
-                continue
-            if rule.code in self.ignore:
-                continue
-            chosen.append(rule)
-        return chosen
-
-    @property
-    def narrowed(self) -> bool:
-        """True when select/ignore filtered the registered rule set."""
-        return self.select is not None or bool(self.ignore)
+        from trailint.registry import all_rules
+        return self.selected(all_rules())
 
 
-@dataclass
-class FileContext:
-    """Everything a rule may look at for one file."""
+class TrailintSpec(ToolSpec):
+    """trailint: determinism, error-taxonomy and log-format lint."""
 
-    path: str          # posix relpath from the lint root
-    source: str
-    tree: ast.Module
+    name = "trailint"
+    prefix = "TRL"
+    error_code = "TRL000"
+    hygiene_code = "TRL009"
+    extra_known_codes = ("TRL000",)
+    description = ("Repo-native static analysis for the Trail "
+                   "reproduction (determinism, error taxonomy and "
+                   "log-format invariants).")
+    default_paths = ("src", "tests")
+    default_exclude = DEFAULT_EXCLUDE_PATTERNS
+    registry = REGISTRY
+    config_class = LintConfig
 
-    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
-        return Finding(path=self.path,
-                       line=getattr(node, "lineno", 1),
-                       col=getattr(node, "col_offset", 0) + 1,
-                       code=code, message=message)
-
-
-@dataclass
-class _Suppressions:
-    """Parsed suppression comments for one file."""
-
-    by_line: Dict[int, Set[str]] = field(default_factory=dict)
-    file_wide: Set[str] = field(default_factory=set)
-    #: (line, code) pairs as written, for TRL009 bookkeeping.
-    declared: List[Tuple[int, str, bool]] = field(default_factory=list)
-
-    def hides(self, finding: Finding) -> bool:
-        return (finding.code in self.file_wide
-                or finding.code in self.by_line.get(finding.line, set()))
+    def load_rules(self) -> None:
+        import trailint.rules  # noqa: F401  (populates the registry)
 
 
-def _parse_suppressions(source: str) -> _Suppressions:
-    sup = _Suppressions()
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        comments = [tok for tok in tokens
-                    if tok.type == tokenize.COMMENT]
-    except (tokenize.TokenError, IndentationError, SyntaxError):
-        return sup
-    for tok in comments:
-        match = _SUPPRESS_RE.search(tok.string)
-        if match is None:
-            continue
-        file_wide = match.group("kind") == "disable-file"
-        for code in match.group("codes").replace(" ", "").split(","):
-            sup.declared.append((tok.start[0], code, file_wide))
-            if file_wide:
-                sup.file_wide.add(code)
-            else:
-                sup.by_line.setdefault(tok.start[0], set()).add(code)
-    return sup
+SPEC = TrailintSpec()
 
 
 def lint_file(path: str, relpath: str, config: LintConfig,
               explicit: bool = False) -> List[Finding]:
     """Lint one file; returns post-suppression findings (sorted)."""
-    try:
-        with open(path, encoding="utf-8") as handle:
-            source = handle.read()
-    except (OSError, UnicodeDecodeError) as exc:
-        return [Finding(path=relpath, line=1, col=1, code="TRL000",
-                        message=f"cannot read file: {exc}")]
-    try:
-        tree = ast.parse(source, filename=relpath)
-    except SyntaxError as exc:
-        return [Finding(path=relpath, line=exc.lineno or 1,
-                        col=(exc.offset or 0) + 1, code="TRL000",
-                        message=f"syntax error: {exc.msg}")]
-
-    ctx = FileContext(path=relpath, source=source, tree=tree)
-    raw: List[Finding] = []
-    for rule in config.rules():
-        if not rule.applies_to(relpath, explicit=explicit):
-            continue
-        raw.extend(rule.check(ctx))
-
-    suppressions = _parse_suppressions(source)
-    kept: List[Finding] = []
-    used: Set[Tuple[int, str]] = set()
-    for finding in raw:
-        if finding.code in suppressions.file_wide:
-            used.add((-1, finding.code))
-        elif finding.code in suppressions.by_line.get(finding.line, set()):
-            used.add((finding.line, finding.code))
-        else:
-            kept.append(finding)
-
-    kept.extend(_check_suppressions(relpath, suppressions, used, config))
-    return sorted(set(kept))
-
-
-def _check_suppressions(relpath: str, suppressions: _Suppressions,
-                        used: Set[Tuple[int, str]],
-                        config: LintConfig) -> List[Finding]:
-    """TRL009: suppression comments must name real, needed codes."""
-    if config.narrowed or "TRL009" in config.ignore:
-        # A partial rule run cannot tell whether a suppression is
-        # genuinely unused, so suppression hygiene only runs with the
-        # full rule set.
-        return []
-    from trailint.registry import _REGISTRY
-    known = set(_REGISTRY) | {"TRL000", "TRL009"}
-    findings = []
-    for line, code, file_wide in suppressions.declared:
-        if code not in known:
-            findings.append(Finding(
-                path=relpath, line=line, col=1, code="TRL009",
-                message=f"suppression names unknown rule code {code}"))
-        elif (-1 if file_wide else line, code) not in used:
-            where = "file-wide" if file_wide else "on this line"
-            findings.append(Finding(
-                path=relpath, line=line, col=1, code="TRL009",
-                message=f"unused suppression: {code} reports nothing "
-                        f"{where}"))
+    SPEC.load_rules()
+    parsed: ParsedFile = parse_file(SPEC, path, relpath, explicit)
+    findings, _ = check_file(SPEC, parsed, config, None)
     return findings
-
-
-def _walk(root: str, paths: Sequence[str],
-          exclude: Tuple[str, ...]) -> List[Tuple[str, str, bool]]:
-    """Resolve inputs to (abspath, relpath, explicit) python files."""
-    chosen: List[Tuple[str, str, bool]] = []
-    for raw in paths:
-        path = raw if os.path.isabs(raw) else os.path.join(root, raw)
-        path = os.path.normpath(path)
-        if os.path.isfile(path):
-            chosen.append((path, _rel(root, path), True))
-            continue
-        if not os.path.isdir(path):
-            raise FileNotFoundError(f"no such file or directory: {raw}")
-        for dirpath, dirnames, filenames in os.walk(path):
-            dirnames[:] = sorted(d for d in dirnames
-                                 if d not in _SKIP_DIRS)
-            for filename in sorted(filenames):
-                if not filename.endswith(".py"):
-                    continue
-                full = os.path.join(dirpath, filename)
-                rel = _rel(root, full)
-                if any(fnmatch(rel, pattern) for pattern in exclude):
-                    continue
-                chosen.append((full, rel, False))
-    return chosen
-
-
-def _rel(root: str, path: str) -> str:
-    rel = os.path.relpath(path, root)
-    return rel.replace(os.sep, "/")
 
 
 def run_paths(paths: Sequence[str], root: Optional[str] = None,
@@ -238,10 +86,4 @@ def run_paths(paths: Sequence[str], root: Optional[str] = None,
     linted with every rule regardless of rule scopes — this is how the
     known-bad fixtures under ``tests/lint/fixtures`` are exercised.
     """
-    root = os.path.abspath(root or os.getcwd())
-    config = config or LintConfig()
-    findings: List[Finding] = []
-    files = _walk(root, paths, config.exclude)
-    for full, rel, explicit in files:
-        findings.extend(lint_file(full, rel, config, explicit=explicit))
-    return sorted(findings), len(files)
+    return _shared_run_paths(SPEC, paths, root=root, config=config)

@@ -1,99 +1,40 @@
-"""Rule base class and the global rule registry.
+"""trailint's rule registry, hosted on the shared analyzer runtime.
 
-A rule is a class with a ``TRLnnn`` code, a human-readable summary,
-an optional path ``scope`` (fnmatch patterns; empty means every file)
-and optional ``exempt`` patterns that win over the scope.  Concrete
-rules implement :meth:`Rule.check`, yielding :class:`Finding` objects
-for one parsed file.
-
-Rules self-register at import time via the :func:`register` decorator;
-``trailint.rules`` imports every rule module so that importing
-``trailint`` is enough to populate the registry.
+The :class:`~tools.analysis.registry.Rule` base class and
+:class:`~tools.analysis.registry.Registry` mechanics live in
+:mod:`tools.analysis`; this module pins trailint's ``TRL`` registry
+instance and keeps the historical module-level API (``register``,
+``all_rules``, ``get_rule``, ``dotted_name``) that the rule modules
+and tests import.
 """
 
 from __future__ import annotations
 
-import ast
-from fnmatch import fnmatch
-from typing import (
-    TYPE_CHECKING, ClassVar, Dict, Iterator, List, Tuple, Type)
+from typing import List, Type
 
-if TYPE_CHECKING:
-    from trailint.engine import FileContext, Finding
+from tools.analysis.registry import Registry, Rule, dotted_name
 
+__all__ = ["REGISTRY", "Rule", "all_rules", "dotted_name", "get_rule",
+           "register"]
 
-class Rule:
-    """One named check over a parsed source file."""
-
-    #: Unique code, ``TRL`` + three digits.  Findings carry it and
-    #: suppression comments name it.
-    code: ClassVar[str] = ""
-    #: Short kebab-case name shown by ``--list-rules``.
-    name: ClassVar[str] = ""
-    #: One-line description of what the rule enforces.
-    summary: ClassVar[str] = ""
-    #: fnmatch patterns (posix-style, relative to the repo root) the
-    #: rule applies to.  Empty tuple = every linted file.  Ignored for
-    #: files passed explicitly on the command line, so fixtures can be
-    #: linted directly: ``python -m trailint tests/lint/fixtures/...``.
-    scope: ClassVar[Tuple[str, ...]] = ()
-    #: fnmatch patterns exempted even when the scope matches (e.g.
-    #: ``core/format.py`` for the format-invariant rules).  Unlike
-    #: ``scope`` these are honored for explicit files too.
-    exempt: ClassVar[Tuple[str, ...]] = ()
-
-    def applies_to(self, path: str, explicit: bool = False) -> bool:
-        """True when ``path`` (posix relpath) is in this rule's remit."""
-        if any(fnmatch(path, pattern) for pattern in self.exempt):
-            return False
-        if explicit or not self.scope:
-            return True
-        return any(fnmatch(path, pattern) for pattern in self.scope)
-
-    def check(self, ctx: "FileContext") -> Iterator["Finding"]:
-        """Yield findings for one file.  Subclasses override."""
-        raise NotImplementedError
-        yield  # pragma: no cover  (makes this a generator)
-
-
-_REGISTRY: Dict[str, Type[Rule]] = {}
+#: The global TRL rule set.  Rules self-register at import time via
+#: :func:`register`; ``trailint.rules`` imports every rule module so
+#: that importing ``trailint`` is enough to populate it.
+REGISTRY = Registry("TRL")
 
 
 def register(rule_class: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding ``rule_class`` to the global registry."""
-    code = rule_class.code
-    if not (code.startswith("TRL") and code[3:].isdigit()
-            and len(code) == 6):
-        raise ValueError(f"bad rule code {code!r} on {rule_class.__name__}")
-    if code in _REGISTRY:
-        raise ValueError(f"duplicate rule code {code}")
-    _REGISTRY[code] = rule_class
-    return rule_class
+    """Class decorator adding ``rule_class`` to the TRL registry."""
+    return REGISTRY.register(rule_class)
 
 
 def all_rules() -> List[Rule]:
     """Fresh instances of every registered rule, sorted by code."""
     import trailint.rules  # noqa: F401  (populates the registry)
-    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+    return REGISTRY.all_rules()
 
 
 def get_rule(code: str) -> Rule:
     """Instantiate the rule registered under ``code``."""
     import trailint.rules  # noqa: F401
-    return _REGISTRY[code]()
-
-
-def dotted_name(node: ast.AST) -> str:
-    """``a.b.c`` for a Name/Attribute chain, else ''.
-
-    Shared helper for rules that match calls by their dotted target
-    (``time.time``, ``datetime.datetime.now``, ``struct.pack`` ...).
-    """
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return ""
+    return REGISTRY.get_rule(code)

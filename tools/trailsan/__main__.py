@@ -5,94 +5,16 @@ Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error.
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
-from typing import Dict, List, Optional, Set
+from typing import List, Optional
 
-from trailsan.engine import SanConfig, run_paths
-from trailsan.rules import all_rules
+from tools.analysis.cli import main as _shared_main
 
-
-def _parse_codes(raw: Optional[str]) -> Optional[Set[str]]:
-    if raw is None:
-        return None
-    codes = {code.strip().upper() for code in raw.split(",")
-             if code.strip()}
-    known = {rule.code for rule in all_rules()}
-    unknown = codes - known
-    if unknown:
-        print(f"trailsan: unknown rule code(s): "
-              f"{', '.join(sorted(unknown))}", file=sys.stderr)
-        raise SystemExit(2)
-    return codes
-
-
-def _list_rules() -> None:
-    for rule in all_rules():
-        scope = ", ".join(rule.scope) if rule.scope else "all files"
-        print(f"{rule.code}  {rule.name}")
-        print(f"        {rule.summary}")
-        print(f"        scope: {scope}")
-        if rule.exempt:
-            print(f"        exempt: {', '.join(rule.exempt)}")
+from trailsan.engine import SPEC
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="trailsan",
-        description="Yield-point atomicity and lock-discipline "
-                    "analysis for the cooperative simulation "
-                    "(guarded_by / atomic_group annotations).")
-    parser.add_argument("paths", nargs="*", default=["src"],
-                        help="files or directories to analyze "
-                             "(default: src)")
-    parser.add_argument("--format", choices=("human", "json"),
-                        default="human", help="output format")
-    parser.add_argument("--select", metavar="CODES",
-                        help="comma-separated rule codes to run "
-                             "exclusively")
-    parser.add_argument("--ignore", metavar="CODES",
-                        help="comma-separated rule codes to skip")
-    parser.add_argument("--root", default=None,
-                        help="repo root for relative paths and rule "
-                             "scopes (default: cwd)")
-    parser.add_argument("--list-rules", action="store_true",
-                        help="print every registered rule and exit")
-    args = parser.parse_args(argv)
-
-    if args.list_rules:
-        _list_rules()
-        return 0
-
-    config = SanConfig(select=_parse_codes(args.select),
-                       ignore=_parse_codes(args.ignore) or set())
-    try:
-        findings, files_checked = run_paths(args.paths, root=args.root,
-                                            config=config)
-    except FileNotFoundError as exc:
-        print(f"trailsan: {exc}", file=sys.stderr)
-        return 2
-
-    if args.format == "json":
-        counts: Dict[str, int] = {}
-        for finding in findings:
-            counts[finding.code] = counts.get(finding.code, 0) + 1
-        print(json.dumps({
-            "files_checked": files_checked,
-            "findings": [finding.as_dict() for finding in findings],
-            "counts": dict(sorted(counts.items())),
-        }, indent=2))
-    else:
-        for finding in findings:
-            print(finding.render())
-        noun = "file" if files_checked == 1 else "files"
-        if findings:
-            print(f"trailsan: {len(findings)} finding(s) in "
-                  f"{files_checked} {noun}")
-        else:
-            print(f"trailsan: {files_checked} {noun} clean")
-    return 1 if findings else 0
+    return _shared_main(SPEC, argv)
 
 
 if __name__ == "__main__":

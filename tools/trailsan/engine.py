@@ -1,34 +1,33 @@
-"""File discovery, suppression handling and the analysis driver loop.
+"""trailsan's binding to the shared analyzer runtime.
 
-Mirrors ``trailint.engine`` conventions exactly — same walk rules,
-same explicit-file semantics, same suppression grammar with the
-``trailsan:`` prefix — so the two tools feel like one family:
-
-```
-value = compute()            # trailsan: disable=TSN001
-# trailsan: disable-file=TSN004
-```
-
-``TSN000`` is the engine's own code: unreadable/syntactically invalid
-files, and suppression-hygiene findings (a suppression naming an
-unknown code or hiding nothing is itself a finding, so suppressions
-cannot rot).
+Walking, parsing, suppressions and hygiene live in
+:mod:`tools.analysis`; this module keeps trailsan's public surface —
+``SanConfig``, ``SanContext``, ``analyze_file``, ``run_paths`` —
+exactly as it was before the extraction.  ``TSN000`` doubles as the
+error code (unreadable / syntactically invalid files) and the
+suppression-hygiene code, as it always has.
 """
 
 from __future__ import annotations
 
 import ast
-import io
-import os
-import re
-import tokenize
-from dataclasses import dataclass, field
-from fnmatch import fnmatch
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from tools.analysis.engine import (
+    AnalyzerConfig, FileContext, ParsedFile, ToolSpec, check_file,
+    parse_file)
+from tools.analysis.engine import run_paths as _shared_run_paths
+from tools.analysis.findings import Finding
 
 from trailsan.model import (
     ClassModel, FunctionScan, ModuleModel, build_module_model)
-from trailsan.rules import Rule, all_rules
+from trailsan.rules import REGISTRY, Rule
+
+__all__ = [
+    "DEFAULT_EXCLUDE_PATTERNS", "Finding", "SPEC", "SanConfig",
+    "SanContext", "TrailsanSpec", "analyze_file", "run_paths",
+]
 
 #: Paths (posix relpaths, fnmatch) never analyzed when discovered by a
 #: directory walk.  The sanitizer fixtures are *deliberately* racy
@@ -36,60 +35,22 @@ from trailsan.rules import Rule, all_rules
 DEFAULT_EXCLUDE_PATTERNS: Tuple[str, ...] = (
     "tests/san/fixtures/*",
     "tests/lint/fixtures/*",
+    "tests/units/fixtures/*",
 )
-
-_SKIP_DIRS = {
-    "__pycache__", ".git", ".mypy_cache", ".pytest_cache", ".hypothesis",
-}
-
-_SUPPRESS_RE = re.compile(
-    r"#\s*trailsan:\s*(?P<kind>disable(?:-file)?)\s*=\s*"
-    r"(?P<codes>TSN\d{3}(?:\s*,\s*TSN\d{3})*)")
-
-
-@dataclass(frozen=True, order=True)
-class Finding:
-    """One rule violation at a location."""
-
-    path: str
-    line: int
-    col: int
-    code: str
-    message: str
-
-    def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: " \
-               f"{self.code} {self.message}"
-
-    def as_dict(self) -> Dict[str, object]:
-        return {"path": self.path, "line": self.line, "col": self.col,
-                "code": self.code, "message": self.message}
 
 
 @dataclass
-class SanConfig:
+class SanConfig(AnalyzerConfig):
     """Which rules run and which files are skipped."""
 
-    select: Optional[Set[str]] = None   # None = all registered rules
-    ignore: Set[str] = field(default_factory=set)
     exclude: Tuple[str, ...] = DEFAULT_EXCLUDE_PATTERNS
 
     def rules(self) -> List[Rule]:
-        chosen = []
-        for rule in all_rules():
-            if self.select is not None and rule.code not in self.select:
-                continue
-            if rule.code in self.ignore:
-                continue
-            chosen.append(rule)
-        return chosen
-
-    @property
-    def narrowed(self) -> bool:
-        return self.select is not None or bool(self.ignore)
+        from trailsan.rules import all_rules
+        return self.selected(all_rules())
 
 
-class SanContext:
+class SanContext(FileContext):
     """Everything a rule may look at for one file.
 
     The module model and the per-function scans are computed once and
@@ -97,9 +58,7 @@ class SanContext:
     """
 
     def __init__(self, path: str, source: str, tree: ast.Module) -> None:
-        self.path = path
-        self.source = source
-        self.tree = tree
+        super().__init__(path, source, tree)
         self._model: Optional[ModuleModel] = None
         self._scans: Optional[
             List[Tuple[FunctionScan, Optional[ClassModel]]]] = None
@@ -125,134 +84,42 @@ class SanContext:
         self._scans = scans
         return scans
 
-    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
-        return Finding(path=self.path,
-                       line=getattr(node, "lineno", 1),
-                       col=getattr(node, "col_offset", 0) + 1,
-                       code=code, message=message)
+
+class TrailsanSpec(ToolSpec):
+    """trailsan: yield-point atomicity and lock-discipline analysis."""
+
+    name = "trailsan"
+    prefix = "TSN"
+    error_code = "TSN000"
+    hygiene_code = "TSN000"
+    extra_known_codes = ("TSN000",)
+    description = ("Yield-point atomicity and lock-discipline "
+                   "analysis for the cooperative simulation "
+                   "(guarded_by / atomic_group annotations).")
+    default_paths = ("src",)
+    default_exclude = DEFAULT_EXCLUDE_PATTERNS
+    registry = REGISTRY
+    config_class = SanConfig
+
+    def load_rules(self) -> None:
+        import trailsan.rules  # noqa: F401  (populates the registry)
+
+    def make_context(self, parsed: ParsedFile,
+                     shared: object) -> SanContext:
+        assert parsed.tree is not None
+        return SanContext(parsed.relpath, parsed.source, parsed.tree)
 
 
-@dataclass
-class _Suppressions:
-    by_line: Dict[int, Set[str]] = field(default_factory=dict)
-    file_wide: Set[str] = field(default_factory=set)
-    declared: List[Tuple[int, str, bool]] = field(default_factory=list)
-
-
-def _parse_suppressions(source: str) -> _Suppressions:
-    sup = _Suppressions()
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        comments = [tok for tok in tokens
-                    if tok.type == tokenize.COMMENT]
-    except (tokenize.TokenError, IndentationError, SyntaxError):
-        return sup
-    for tok in comments:
-        match = _SUPPRESS_RE.search(tok.string)
-        if match is None:
-            continue
-        file_wide = match.group("kind") == "disable-file"
-        for code in match.group("codes").replace(" ", "").split(","):
-            sup.declared.append((tok.start[0], code, file_wide))
-            if file_wide:
-                sup.file_wide.add(code)
-            else:
-                sup.by_line.setdefault(tok.start[0], set()).add(code)
-    return sup
+SPEC = TrailsanSpec()
 
 
 def analyze_file(path: str, relpath: str, config: SanConfig,
                  explicit: bool = False) -> List[Finding]:
     """Analyze one file; returns post-suppression findings (sorted)."""
-    try:
-        with open(path, encoding="utf-8") as handle:
-            source = handle.read()
-    except (OSError, UnicodeDecodeError) as exc:
-        return [Finding(path=relpath, line=1, col=1, code="TSN000",
-                        message=f"cannot read file: {exc}")]
-    try:
-        tree = ast.parse(source, filename=relpath)
-    except SyntaxError as exc:
-        return [Finding(path=relpath, line=exc.lineno or 1,
-                        col=(exc.offset or 0) + 1, code="TSN000",
-                        message=f"syntax error: {exc.msg}")]
-
-    ctx = SanContext(path=relpath, source=source, tree=tree)
-    raw: List[Finding] = []
-    for rule in config.rules():
-        if not rule.applies_to(relpath, explicit=explicit):
-            continue
-        raw.extend(rule.check(ctx))
-
-    suppressions = _parse_suppressions(source)
-    kept: List[Finding] = []
-    used: Set[Tuple[int, str]] = set()
-    for finding in raw:
-        if finding.code in suppressions.file_wide:
-            used.add((-1, finding.code))
-        elif finding.code in suppressions.by_line.get(finding.line, set()):
-            used.add((finding.line, finding.code))
-        else:
-            kept.append(finding)
-
-    kept.extend(_check_suppressions(relpath, suppressions, used, config))
-    return sorted(set(kept))
-
-
-def _check_suppressions(relpath: str, suppressions: _Suppressions,
-                        used: Set[Tuple[int, str]],
-                        config: SanConfig) -> List[Finding]:
-    """TSN000 hygiene: suppressions must name real, needed codes."""
-    if config.narrowed or "TSN000" in config.ignore:
-        # A partial rule run cannot tell whether a suppression is
-        # genuinely unused, so hygiene only runs with the full set.
-        return []
-    from trailsan.rules import _REGISTRY
-    known = set(_REGISTRY) | {"TSN000"}
-    findings = []
-    for line, code, file_wide in suppressions.declared:
-        if code not in known:
-            findings.append(Finding(
-                path=relpath, line=line, col=1, code="TSN000",
-                message=f"suppression names unknown rule code {code}"))
-        elif (-1 if file_wide else line, code) not in used:
-            where = "file-wide" if file_wide else "on this line"
-            findings.append(Finding(
-                path=relpath, line=line, col=1, code="TSN000",
-                message=f"unused suppression: {code} reports nothing "
-                        f"{where}"))
+    SPEC.load_rules()
+    parsed: ParsedFile = parse_file(SPEC, path, relpath, explicit)
+    findings, _ = check_file(SPEC, parsed, config, None)
     return findings
-
-
-def _walk(root: str, paths: Sequence[str],
-          exclude: Tuple[str, ...]) -> List[Tuple[str, str, bool]]:
-    """Resolve inputs to (abspath, relpath, explicit) python files."""
-    chosen: List[Tuple[str, str, bool]] = []
-    for raw in paths:
-        path = raw if os.path.isabs(raw) else os.path.join(root, raw)
-        path = os.path.normpath(path)
-        if os.path.isfile(path):
-            chosen.append((path, _rel(root, path), True))
-            continue
-        if not os.path.isdir(path):
-            raise FileNotFoundError(f"no such file or directory: {raw}")
-        for dirpath, dirnames, filenames in os.walk(path):
-            dirnames[:] = sorted(d for d in dirnames
-                                 if d not in _SKIP_DIRS)
-            for filename in sorted(filenames):
-                if not filename.endswith(".py"):
-                    continue
-                full = os.path.join(dirpath, filename)
-                rel = _rel(root, full)
-                if any(fnmatch(rel, pattern) for pattern in exclude):
-                    continue
-                chosen.append((full, rel, False))
-    return chosen
-
-
-def _rel(root: str, path: str) -> str:
-    rel = os.path.relpath(path, root)
-    return rel.replace(os.sep, "/")
 
 
 def run_paths(paths: Sequence[str], root: Optional[str] = None,
@@ -264,11 +131,4 @@ def run_paths(paths: Sequence[str], root: Optional[str] = None,
     analyzed with every rule regardless of rule scopes — this is how
     the known-bad fixtures under ``tests/san/fixtures`` are exercised.
     """
-    root = os.path.abspath(root or os.getcwd())
-    config = config or SanConfig()
-    findings: List[Finding] = []
-    files = _walk(root, paths, config.exclude)
-    for full, rel, explicit in files:
-        findings.extend(analyze_file(full, rel, config,
-                                     explicit=explicit))
-    return sorted(findings), len(files)
+    return _shared_run_paths(SPEC, paths, root=root, config=config)

@@ -15,10 +15,11 @@ file is parsed and segmented once no matter how many rules run.
 
 from __future__ import annotations
 
-from fnmatch import fnmatch
 from typing import (
-    TYPE_CHECKING, ClassVar, Dict, Iterator, List, Optional, Set, Tuple,
-    Type)
+    TYPE_CHECKING, ClassVar, Iterator, List, Optional, Set, Tuple, Type)
+
+from tools.analysis.registry import Registry
+from tools.analysis.registry import Rule as _SharedRule
 
 from trailsan.model import FunctionScan, Touch
 
@@ -26,46 +27,29 @@ if TYPE_CHECKING:
     from trailsan.engine import Finding, SanContext
 
 
-class Rule:
-    """One named check over a scanned source file."""
+class Rule(_SharedRule):
+    """One named check over a scanned source file.
 
-    code: ClassVar[str] = ""
-    name: ClassVar[str] = ""
-    summary: ClassVar[str] = ""
-    #: fnmatch path patterns; ignored for explicitly named files so the
-    #: deliberately bad fixtures can be analyzed directly.
+    Narrows the shared base's default scope to the simulation sources;
+    scopes are still ignored for explicitly named files so the
+    deliberately bad fixtures can be analyzed directly.
+    """
+
     scope: ClassVar[Tuple[str, ...]] = ("src/repro/*", "tools/*")
-    exempt: ClassVar[Tuple[str, ...]] = ()
-
-    def applies_to(self, path: str, explicit: bool = False) -> bool:
-        if any(fnmatch(path, pattern) for pattern in self.exempt):
-            return False
-        if explicit or not self.scope:
-            return True
-        return any(fnmatch(path, pattern) for pattern in self.scope)
-
-    def check(self, ctx: "SanContext") -> Iterator["Finding"]:
-        raise NotImplementedError
-        yield  # pragma: no cover  (makes this a generator)
 
 
-_REGISTRY: Dict[str, Type[Rule]] = {}
+#: The global TSN rule set; rules self-register at import time.
+REGISTRY = Registry("TSN")
 
 
 def register(rule_class: Type[Rule]) -> Type[Rule]:
-    code = rule_class.code
-    if not (code.startswith("TSN") and code[3:].isdigit()
-            and len(code) == 6):
-        raise ValueError(f"bad rule code {code!r} on {rule_class.__name__}")
-    if code in _REGISTRY:
-        raise ValueError(f"duplicate rule code {code}")
-    _REGISTRY[code] = rule_class
-    return rule_class
+    """Class decorator adding ``rule_class`` to the TSN registry."""
+    return REGISTRY.register(rule_class)
 
 
 def all_rules() -> List[Rule]:
     """Fresh instances of every registered rule, sorted by code."""
-    return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
+    return REGISTRY.all_rules()
 
 
 def _lock_held(lock: str, held: Tuple[str, ...]) -> bool:
