@@ -3,14 +3,19 @@
 Unlike the figure/table benchmarks (which measure *simulated* time),
 this module measures how fast the simulator itself runs.  It times the
 canonical scenarios from :mod:`repro.analysis.perf`, writes the
-current numbers to ``BENCH_perf.json`` at the repo root, and holds the
-two microbenchmarks to a >= 2x ops/sec speedup over the checked-in
-pre-optimization baseline (``benchmarks/perf/BENCH_baseline.json``).
+current numbers to ``BENCH_perf.json`` at the repo root, and holds
+every scenario to a required ops/sec ratio over the checked-in
+baseline (``benchmarks/perf/BENCH_baseline.json``).
 
-The baseline was captured on the exact scenario bodies that still run
-today (they are frozen — see the perf module docstring), so the ratio
-measures the engine, not benchmark drift.  Each scenario is timed
-best-of-N because wall-clock numbers on a shared machine are noisy in
+The baseline is re-anchored at the start of each optimization PR to
+the previously committed ``BENCH_perf.json``, so the gates measure
+*that PR's* claim: the kernel/storage microbenchmarks must not
+regress (>= 0.95x absorbs timer noise), and the DB/TPC-C macro
+scenarios must hold the speedup the PR delivered (see
+``REQUIRED_SPEEDUP``).  The scenario bodies are frozen — see the perf
+module docstring — so the ratio measures the engine, not benchmark
+drift.  Each scenario is timed best-of-N (``PERF_ROUNDS`` env var,
+default 5) because wall-clock numbers on a shared machine are noisy in
 one direction only: interference makes runs slower, never faster.
 
 Run with::
@@ -25,23 +30,31 @@ These tests are marked ``perf`` and are excluded from the tier-1 suite
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.perf import (
-    MICROBENCHMARKS, SCENARIOS, PerfResult, run_scenario, write_report)
+    SCENARIOS, PerfResult, run_scenario, write_report)
 from benchmarks.conftest import print_report
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_baseline.json"
 REPORT_PATH = REPO_ROOT / "BENCH_perf.json"
 
-#: Required ops/sec ratio over the pre-optimization baseline.
-REQUIRED_SPEEDUP = 2.0
+#: Required ops/sec ratio over the baseline, per scenario.  The
+#: microbenchmarks were the previous perf PR's 2x deliverable and now
+#: just must not regress; the macro scenarios are this PR's layers.
+REQUIRED_SPEEDUP = {
+    "kernel-churn": 0.95,
+    "sector-churn": 0.95,
+    "fig3-sparse": 1.2,
+    "tpcc-small": 2.0,
+}
 
 #: Timing repetitions; best-of because noise only ever slows a run down.
-ROUNDS = 3
+ROUNDS = max(3, int(os.environ.get("PERF_ROUNDS", "5")))
 
 pytestmark = pytest.mark.perf
 
@@ -78,31 +91,15 @@ def test_report_written(measured):
         assert set(row) == {"ops_per_sec", "wall_s"}
 
 
-@pytest.mark.parametrize("name", MICROBENCHMARKS)
-def test_microbenchmark_speedup(name, measured, baseline):
-    """kernel-churn and sector-churn must hold the >= 2x gate."""
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_holds_required_speedup(name, measured, baseline):
+    """Every scenario must hold its per-scenario gate over baseline."""
+    required = REQUIRED_SPEEDUP[name]
     result = measured[name]
     old = baseline[name]["ops_per_sec"]
     ratio = result.ops_per_sec / old
     print_report(
         f"{name}: {result.ops_per_sec:,.0f} ops/s vs baseline "
-        f"{old:,.0f} ops/s -> {ratio:.2f}x (gate: {REQUIRED_SPEEDUP}x)")
-    assert ratio >= REQUIRED_SPEEDUP, (
-        f"{name} regressed below the {REQUIRED_SPEEDUP}x gate: "
-        f"{ratio:.2f}x over baseline")
-
-
-def test_macro_scenarios_no_regression(measured, baseline):
-    """The full-stack scenarios must not be slower than the baseline.
-
-    These don't get a 2x gate — most of their time is workload logic on
-    top of the engine — but an optimization PR must not trade micro
-    wins for macro losses.  5% tolerance absorbs timer noise.
-    """
-    for name in SCENARIOS:
-        if name in MICROBENCHMARKS:
-            continue
-        ratio = measured[name].ops_per_sec / baseline[name]["ops_per_sec"]
-        print_report(f"{name}: {ratio:.2f}x over baseline")
-        assert ratio >= 0.95, (
-            f"{name} slowed down: {ratio:.2f}x over baseline")
+        f"{old:,.0f} ops/s -> {ratio:.2f}x (gate: {required}x)")
+    assert ratio >= required, (
+        f"{name} below its {required}x gate: {ratio:.2f}x over baseline")

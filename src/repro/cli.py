@@ -131,8 +131,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _hotspot_rows(stats, sort: str, top: int) -> List[List]:
+    """Top-``top`` functions from a pstats.Stats, one row per function."""
+    key = 3 if sort == "cumulative" else 2  # (cc, nc, tottime, cumtime)
+    entries = sorted(
+        stats.stats.items(),  # type: ignore[attr-defined]
+        key=lambda item: item[1][key], reverse=True)
+    rows: List[List] = []
+    for (filename, lineno, funcname), row in entries[:top]:
+        _cc, ncalls, tottime, cumtime, _callers = row
+        if filename.startswith("<"):
+            where = f"{filename}:{funcname}"
+        else:
+            short = "/".join(filename.split("/")[-2:])
+            where = f"{short}:{lineno}:{funcname}"
+        rows.append([round(cumtime * 1e3, 2), round(tottime * 1e3, 2),
+                     ncalls, where])
+    return rows
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
-    """Profile a canonical perf scenario (cProfile, sorted by cumulative)."""
+    """Profile a canonical perf scenario (cProfile, top-N hotspot table)."""
     import cProfile
     import pstats
 
@@ -147,9 +166,13 @@ def cmd_profile(args: argparse.Namespace) -> int:
     result = run_scenario(args.scenario, args.scale)
     profiler.disable()
     print(f"{args.scenario}: {result.ops} ops in {result.wall_s:.3f} s "
-          f"({result.ops_per_sec:,.0f} ops/s, under profiler)")
+          f"({result.ops_per_sec:,.0f} ops/s, under profiler)\n")
     stats = pstats.Stats(profiler)
-    stats.sort_stats(args.sort).print_stats(args.top)
+    rows = _hotspot_rows(stats, args.sort, args.top)
+    print(render_table(
+        ["cum (ms)", "tot (ms)", "calls", "function"], rows,
+        title=(f"top {len(rows)} by {args.sort} — "
+               f"{args.scenario} @ scale {args.scale}")))
     return 0
 
 

@@ -33,12 +33,10 @@ class TrackAllocator:
     ) -> None:
         if not usable_tracks:
             raise TrailError("allocator needs at least one usable track")
-        if len(set(usable_tracks)) != len(usable_tracks):
-            raise TrailError("usable_tracks contains duplicates")
         self.geometry = geometry
         self._tracks: Tuple[int, ...] = tuple(usable_tracks)
-        self._index_of: Dict[int, int] = {
-            track: index for index, track in enumerate(self._tracks)}
+        if len(set(self._tracks)) != len(self._tracks):
+            raise TrailError("usable_tracks contains duplicates")
         self._position = 0
         #: Used (start, length) runs on the current track, sorted.
         self._used_runs: List[Tuple[int, int]] = []

@@ -87,6 +87,14 @@ class BufferManager:
         on_record_released: Optional[Callable[[LiveRecord], None]] = None,
     ) -> None:
         self._pages: Dict[PageKey, PendingPage] = {}  # trailsan: atomic_group(pinned-accounting)
+        #: Per-disk view of ``_pages`` (same insertion order), so the
+        #: read-overlay scan in :meth:`find_covering` walks one disk's
+        #: pinned pages instead of every disk's.
+        self._by_disk: Dict[int, Dict[PageKey, PendingPage]] = {}
+        #: Per-disk pinned-coverage refcount per sector, so a read that
+        #: overlaps no pinned page (the common case) is rejected with a
+        #: few dict probes instead of scanning every pinned page.
+        self._cover: Dict[int, Dict[int, int]] = {}
         self._on_record_released = on_record_released
         self.pinned_bytes = 0  # trailsan: atomic_group(pinned-accounting)
         #: Write-backs skipped because a newer version superseded them.
@@ -140,11 +148,17 @@ class BufferManager:
     def find_covering(self, disk_id: int, lba: Lba,
                       nsectors: Sectors) -> List[PendingPage]:
         """All pinned pages overlapping the extent (for read overlay)."""
+        disk_pages = self._by_disk.get(disk_id)
+        if not disk_pages:
+            return []
         end = lba + nsectors
+        cover = self._cover.get(disk_id)
+        if cover is None or all(sector not in cover
+                                for sector in range(lba, end)):
+            return []
         return [
-            page for page in self._pages.values()
-            if page.disk_id == disk_id and page.lba < end
-            and lba < page.lba + page.nsectors
+            page for (_disk, page_lba, page_ns), page in disk_pages.items()
+            if page_lba < end and lba < page_lba + page_ns
         ]
 
     # ------------------------------------------------------------------
@@ -170,6 +184,10 @@ class BufferManager:
         if page is None:
             page = PendingPage(key=key, data=bytes(data))
             self._pages[key] = page
+            self._by_disk.setdefault(disk_id, {})[key] = page
+            cover = self._cover.setdefault(disk_id, {})
+            for sector in range(lba, lba + nsectors):
+                cover[sector] = cover.get(sector, 0) + 1
             self.pinned_bytes += len(data)
         else:
             # Re-pinning may change the byte length within the same
@@ -220,7 +238,16 @@ class BufferManager:
                 remaining.append((record, logged_version))
         page.references = remaining
         if not remaining and page.version <= version:
+            disk_id, lba, nsectors = page.key
             del self._pages[page.key]
+            del self._by_disk[disk_id][page.key]
+            cover = self._cover[disk_id]
+            for sector in range(lba, lba + nsectors):
+                count = cover[sector] - 1
+                if count:
+                    cover[sector] = count
+                else:
+                    del cover[sector]
             self.pinned_bytes -= len(page.data)
             return True
         return False
@@ -241,4 +268,6 @@ class BufferManager:
     def drop_all(self) -> None:
         """Forget every pinned page (host memory lost in a power failure)."""
         self._pages.clear()
+        self._by_disk.clear()
+        self._cover.clear()
         self.pinned_bytes = 0

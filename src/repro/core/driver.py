@@ -25,10 +25,10 @@ from repro.core.allocator import TrackAllocator
 from repro.core.buffer import BufferManager, LiveRecord
 from repro.core.config import TrailConfig
 from repro.core.format import (
-    BatchEntry, LogDiskHeader, NULL_LBA, RecordHeader, decode_disk_header,
-    decode_geometry, encode_disk_header, encode_geometry, encode_record)
+    LogDiskHeader, NULL_LBA, decode_disk_header, decode_geometry,
+    encode_disk_header, encode_geometry, encode_record_raw)
 from repro.core.prediction import HeadPositionPredictor
-from repro.units import DataLba, LogLba, Ms
+from repro.units import LogLba, Ms
 from repro.core.recovery import RecoveryManager, RecoveryReport
 from repro.core.writeback import WritebackScheduler
 from repro.disk.controller import PRIORITY_READ
@@ -110,8 +110,15 @@ def reserved_layout(
         if track not in reserved:
             reserved.add(track)
             header_lbas.append(geometry.track_first_lba(track))
-    usable = [track for track in range(geometry.num_tracks)
-              if track not in reserved]
+    # The reserved set is tiny (the first tracks plus a handful of
+    # replicas); splice the gaps between them as ranges instead of
+    # testing every one of the disk's tracks for membership.
+    usable: List[int] = []
+    cursor = 0
+    for track in sorted(reserved):
+        usable.extend(range(cursor, track))
+        cursor = track + 1
+    usable.extend(range(cursor, geometry.num_tracks))
     if not usable:
         raise TrailError("no usable log tracks after reservation")
     return header_lbas, usable
@@ -590,27 +597,27 @@ class TrailDriver(BlockDevice):
         else:
             log_head = header_lba
 
-        entries: List[BatchEntry] = []
+        # Flattened (first_data_byte, log_lba, data_lba, major, minor)
+        # tuples straight into encode_record_raw: the BatchEntry /
+        # RecordHeader objects would be discarded right after packing.
+        entries: List[Tuple[int, int, int, int, int]] = []
         payload_sectors: List[bytes] = []
         index = 0
         for request, offset, count in spans:
+            data = request.data
+            base_lba = request.lba
+            disk_id = request.disk_id
             for sector in range(offset, offset + count):
-                raw = request.data[sector * sector_size:
-                                   (sector + 1) * sector_size]
-                entries.append(BatchEntry(
-                    data_lba=DataLba(request.lba + sector),
-                    log_lba=LogLba(header_lba + 1 + index),
-                    first_data_byte=raw[0],
-                    data_major=request.disk_id, data_minor=0))
+                raw = data[sector * sector_size:
+                           (sector + 1) * sector_size]
+                entries.append((raw[0], header_lba + 1 + index,
+                                base_lba + sector, disk_id, 0))
                 payload_sectors.append(raw)
                 index += 1
 
-        header = RecordHeader(
-            epoch=epoch, sequence_id=sequence,
-            prev_sect=LogLba(self._last_record_lba),
-            log_head=LogLba(log_head),
-            entries=tuple(entries))
-        blob = b"".join(encode_record(header, payload_sectors, sector_size))
+        blob = b"".join(encode_record_raw(
+            epoch, sequence, self._last_record_lba, log_head,
+            entries, payload_sectors, sector_size))
 
         try:
             result = yield self.log_drive.write(header_lba, blob)

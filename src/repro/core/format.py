@@ -67,6 +67,13 @@ _HEADER_CRC_OFFSET = struct.calcsize(f"<B{_SIG_LEN}sIIIII")
 _ENTRY_FMT = "<BIIBB"
 _ENTRY_SIZE = struct.calcsize(_ENTRY_FMT)
 
+#: Precompiled structs and the one-byte payload marker, hoisted off the
+#: per-record encode path.
+_FIXED_STRUCT = struct.Struct(_FIXED_FMT)
+_ENTRY_STRUCT = struct.Struct(_ENTRY_FMT)
+_CRC_STRUCT = struct.Struct("<I")
+_PAYLOAD_PREFIX = bytes([PAYLOAD_FIRST_BYTE])
+
 assert _FIXED_SIZE + MAX_TRAIL_BATCH * _ENTRY_SIZE <= SECTOR_SIZE, (
     "record header must fit one sector")
 
@@ -134,6 +141,67 @@ class LogDiskHeader:
     crash_var: int
 
 
+def encode_record_raw(
+    epoch: int,
+    sequence_id: int,
+    prev_sect: int,
+    log_head: int,
+    entries: Sequence[Tuple[int, int, int, int, int]],
+    payload_sectors: Sequence[bytes],
+    sector_size: int = SECTOR_SIZE,
+) -> List[bytes]:
+    """Serialize a write record from already-flattened entry fields.
+
+    ``entries[i]`` is ``(first_data_byte, log_lba, data_lba,
+    data_major, data_minor)`` — the on-disk field order of
+    :data:`_ENTRY_FMT`.  This is the packing core of
+    :func:`encode_record`; the log driver calls it directly so the hot
+    write path never materializes :class:`BatchEntry` /
+    :class:`RecordHeader` objects that would be discarded right after
+    packing.
+    """
+    if len(payload_sectors) != len(entries):
+        raise LogFormatError(
+            f"{len(entries)} entries but {len(payload_sectors)} "
+            "payload sectors")
+    if len(entries) > MAX_TRAIL_BATCH:
+        raise LogFormatError(
+            f"batch of {len(entries)} exceeds MAX_TRAIL_BATCH="
+            f"{MAX_TRAIL_BATCH}")
+
+    crc32 = zlib.crc32
+    crc = 0
+    masked: List[bytes] = []
+    append = masked.append
+    for entry, payload in zip(entries, payload_sectors):
+        if len(payload) != sector_size:
+            raise LogFormatError(
+                f"payload sector must be {sector_size} bytes, got "
+                f"{len(payload)}")
+        if payload[0] != entry[0]:
+            raise LogFormatError(
+                "entry.first_data_byte does not match the payload's "
+                f"first byte ({entry[0]} != {payload[0]})")
+        sector = _PAYLOAD_PREFIX + payload[1:]
+        append(sector)
+        crc = crc32(sector, crc)
+
+    # One zero-filled header sector, filled in place: the trailing
+    # padding comes free with the allocation, and the precompiled
+    # Struct objects skip the per-call format parse.
+    packed = bytearray(sector_size)
+    _FIXED_STRUCT.pack_into(
+        packed, 0, HEADER_FIRST_BYTE, TRAIL_SIGNATURE, epoch,
+        sequence_id, prev_sect, log_head, crc, 0, len(entries))
+    offset = _FIXED_SIZE
+    entry_pack = _ENTRY_STRUCT.pack_into
+    for entry in entries:
+        entry_pack(packed, offset, *entry)
+        offset += _ENTRY_SIZE
+    _CRC_STRUCT.pack_into(packed, _HEADER_CRC_OFFSET, crc32(packed))
+    return [bytes(packed)] + masked
+
+
 def encode_record(
     header: RecordHeader,
     payload_sectors: Sequence[bytes],
@@ -147,40 +215,13 @@ def encode_record(
     the returned encoding.  Returns ``1 + batch_size`` sectors: the
     header sector followed by the masked payloads.
     """
-    if len(payload_sectors) != len(header.entries):
-        raise LogFormatError(
-            f"{len(header.entries)} entries but {len(payload_sectors)} "
-            "payload sectors")
-    if len(header.entries) > MAX_TRAIL_BATCH:
-        raise LogFormatError(
-            f"batch of {len(header.entries)} exceeds MAX_TRAIL_BATCH="
-            f"{MAX_TRAIL_BATCH}")
-
-    masked: List[bytes] = []
-    for entry, payload in zip(header.entries, payload_sectors):
-        if len(payload) != sector_size:
-            raise LogFormatError(
-                f"payload sector must be {sector_size} bytes, got "
-                f"{len(payload)}")
-        if payload[0] != entry.first_data_byte:
-            raise LogFormatError(
-                "entry.first_data_byte does not match the payload's "
-                f"first byte ({entry.first_data_byte} != {payload[0]})")
-        masked.append(bytes([PAYLOAD_FIRST_BYTE]) + payload[1:])
-
-    crc = payload_crc32(masked)
-    packed = bytearray(struct.pack(
-        _FIXED_FMT, HEADER_FIRST_BYTE, TRAIL_SIGNATURE, header.epoch,
-        header.sequence_id, header.prev_sect, header.log_head,
-        crc, 0, len(header.entries)))
-    for entry in header.entries:
-        packed += struct.pack(
-            _ENTRY_FMT, entry.first_data_byte, entry.log_lba,
-            entry.data_lba, entry.data_major, entry.data_minor)
-    packed += bytes(sector_size - len(packed))
-    struct.pack_into("<I", packed, _HEADER_CRC_OFFSET,
-                     zlib.crc32(packed))
-    return [bytes(packed)] + masked
+    return encode_record_raw(
+        header.epoch, header.sequence_id, header.prev_sect,
+        header.log_head,
+        [(entry.first_data_byte, entry.log_lba, entry.data_lba,
+          entry.data_major, entry.data_minor)
+         for entry in header.entries],
+        payload_sectors, sector_size)
 
 
 def payload_crc32(masked_sectors: Sequence[bytes]) -> int:

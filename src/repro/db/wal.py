@@ -15,7 +15,7 @@ Logging" (Table 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Generator, List, Tuple, Union
+from typing import Generator, List, Optional, Tuple, Union
 
 from repro.baselines.group_commit import GroupCommitPolicy, SyncCommitPolicy
 from repro.blockdev import BlockDevice
@@ -107,6 +107,28 @@ class WriteAheadLog:
         """Total bytes ever appended (the next record's start LSN)."""
         return self._next_lsn
 
+    def try_append(self, payload: bytes) -> Optional[int]:
+        """Synchronous fast path: buffer ``payload``, return its end LSN.
+
+        Returns None when the append must go through the latch or
+        trigger a flush (caller falls back to :meth:`append_slow`).
+        Costs zero kernel events — the hot path of every record update.
+        """
+        if not payload:
+            raise DatabaseError("cannot append an empty log record")
+        if (self._latch.in_use == 0 and self._latch.queue_length == 0
+                and not self.policy.should_flush_on_append(
+                    len(self._buffer) + len(payload))):
+            self._buffer.extend(payload)
+            self._next_lsn = lsn = self._next_lsn + len(payload)
+            self.stats.bytes_appended += len(payload)
+            return lsn
+        return None
+
+    def append_slow(self, payload: bytes):
+        """Latched/flushing append path (process; yield its event)."""
+        return self.sim.process(self._append(payload), name="wal-append")
+
     def append(self, payload: bytes):
         """Append a record; the returned event's value is the record's
         end LSN.
@@ -118,16 +140,10 @@ class WriteAheadLog:
         without spawning a process — it is the hot path of every record
         update.
         """
-        if not payload:
-            raise DatabaseError("cannot append an empty log record")
-        if (self._latch.in_use == 0 and self._latch.queue_length == 0
-                and not self.policy.should_flush_on_append(
-                    len(self._buffer) + len(payload))):
-            self._buffer.extend(payload)
-            self._next_lsn += len(payload)
-            self.stats.bytes_appended += len(payload)
+        lsn = self.try_append(payload)
+        if lsn is not None:
             event = Event(self.sim)
-            event.succeed(self._next_lsn)
+            event.succeed(lsn)
             return event
         return self.sim.process(self._append(payload), name="wal-append")
 

@@ -30,7 +30,7 @@ PRIORITY_READ = 0
 PRIORITY_WRITE = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class IoResult:
     """Completion record for one disk command."""
 
@@ -118,7 +118,7 @@ class DriveStats:
         return self.rotation_ms / self.commands if self.commands else 0.0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Segment:
     """One contiguous same-track span of a multi-sector transfer."""
 

@@ -9,31 +9,203 @@ of the disk content to zero" (§4.1).
 ``snapshot``/``restore`` let crash tests capture persistent state at an
 arbitrary instant and rewind to it, modelling a power failure that
 loses everything except what reached the platter.  Snapshots are
-copy-on-write: taking one is O(1) — the sector map is shared until the
+copy-on-write: taking one is O(1) — the chunk map is shared until the
 next mutation, which first privatizes it.  Treat a returned snapshot
 as opaque/read-only.
 
-Hot-path notes (see docs/PERFORMANCE.md): sector values are immutable
-``bytes``, so aligned writes slice straight from the caller's buffer
-with no intermediate padded copy, single-sector extents skip the slice
-loop entirely, bounds checks are a single inline comparison with the
-error construction pushed to a cold helper, and ``written_extents`` is
-computed once and cached until the next mutation.
+Hot-path notes (see docs/PERFORMANCE.md): storage is chunked, not
+per-sector.  Sectors live in fixed-size ``bytearray`` chunks of
+:data:`CHUNK_SECTORS` sectors; a multi-sector write is one C-level
+slice splice into the chunk instead of one dict store per sector, and
+a contiguous read is one slice out.  Which sectors were *written* is a
+per-chunk bitmask (chunks are zero-filled, so reads need no mask), and
+``written_extents`` decomposes the masks with bit arithmetic.
+Snapshots share both the chunk dict and the chunk buffers; the first
+mutation after a snapshot copies the dicts, and each chunk is copied
+at most once on first touch (per-chunk copy-on-write).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import (Dict, Iterator, List, Mapping, Optional, Set, Tuple,
+                    Union)
 
 from repro.errors import AddressError
 from repro.units import SECTOR_SIZE, Lba, Sectors
 
+#: Sectors per storage chunk.  32 sectors = 16 KiB chunks at the
+#: standard sector size: big enough that track-sized I/O touches one or
+#: two chunks, small enough that sparse writes stay cheap to copy.
+CHUNK_SECTORS = 32
+
+#: Memoized decomposition of a chunk bitmask into (start, length) runs.
+#: Mask values repeat heavily across chunks and scans (single sectors,
+#: full chunks, common partial fills), so the bit arithmetic runs once
+#: per distinct pattern.  Bounded defensively; see _mask_runs().
+_MASK_RUNS: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+
+
+def _mask_runs(mask: int) -> Tuple[Tuple[int, int], ...]:
+    """(start_bit, length) runs of consecutive ones in ``mask``."""
+    runs = _MASK_RUNS.get(mask)
+    if runs is None:
+        if len(_MASK_RUNS) > (1 << 16):
+            _MASK_RUNS.clear()
+        decomposed: List[Tuple[int, int]] = []
+        value = mask
+        while value:
+            low = (value & -value).bit_length() - 1
+            tail = value >> low
+            length = ((tail + 1) & ~tail).bit_length() - 1
+            decomposed.append((low, length))
+            shift = low + length
+            value = value >> shift << shift
+        runs = _MASK_RUNS[mask] = tuple(decomposed)
+    return runs
+
+
+class SectorSnapshot:
+    """A captured persistent state, viewed as a sparse LBA -> bytes map.
+
+    Shares chunk storage with the originating :class:`SectorStore`
+    copy-on-write, so taking one is O(1).  It still honours the
+    historical snapshot contract — a mapping from written LBA to that
+    sector's bytes: crash tests iterate it, index it, compare it, and
+    even damage individual sectors in place (``snap[lba] = mutated``)
+    before handing it to :meth:`SectorStore.restore`.
+    """
+
+    __slots__ = ("sector_size", "_chunks", "_masks", "_count", "_owned")
+
+    def __init__(self, sector_size: int, chunks: Dict[int, bytearray],
+                 masks: Dict[int, int], count: int) -> None:
+        self.sector_size = sector_size
+        self._chunks = chunks
+        self._masks = masks
+        self._count = count
+        #: Chunk indexes whose buffers this snapshot may mutate in
+        #: place; None while the dicts themselves are still shared.
+        self._owned: Optional[Set[int]] = None
+
+    # -- mapping protocol (written sectors only) -----------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[int]:
+        return self.keys()
+
+    def keys(self) -> Iterator[int]:
+        masks = self._masks
+        for index in sorted(masks):
+            mask = masks[index]
+            base = index * CHUNK_SECTORS
+            offset = 0
+            while mask:
+                if mask & 1:
+                    yield base + offset
+                mask >>= 1
+                offset += 1
+
+    def items(self) -> Iterator[Tuple[int, bytes]]:
+        size = self.sector_size
+        chunks = self._chunks
+        masks = self._masks
+        for index in sorted(masks):
+            mask = masks[index]
+            chunk = chunks[index]
+            base = index * CHUNK_SECTORS
+            offset = 0
+            while mask:
+                if mask & 1:
+                    start = offset * size
+                    yield (base + offset, bytes(chunk[start:start + size]))
+                mask >>= 1
+                offset += 1
+
+    def values(self) -> Iterator[bytes]:
+        for _lba, sector in self.items():
+            yield sector
+
+    def __contains__(self, lba: object) -> bool:
+        if not isinstance(lba, int):
+            return False
+        index, offset = divmod(lba, CHUNK_SECTORS)
+        return bool(self._masks.get(index, 0) >> offset & 1)
+
+    def __getitem__(self, lba: int) -> bytes:
+        index, offset = divmod(lba, CHUNK_SECTORS)
+        if not self._masks.get(index, 0) >> offset & 1:
+            raise KeyError(lba)
+        size = self.sector_size
+        start = offset * size
+        return bytes(self._chunks[index][start:start + size])
+
+    def get(self, lba: Lba, default: Optional[bytes] = None,
+            ) -> Optional[bytes]:
+        index, offset = divmod(lba, CHUNK_SECTORS)
+        if not self._masks.get(index, 0) >> offset & 1:
+            return default
+        size = self.sector_size
+        start = offset * size
+        return bytes(self._chunks[index][start:start + size])
+
+    def __setitem__(self, lba: int, data: bytes) -> None:
+        """Replace (or add) one sector — crash tests damage records."""
+        size = self.sector_size
+        if len(data) != size:
+            raise AddressError(
+                f"sector write must be exactly {size} bytes, "
+                f"got {len(data)}")
+        owned = self._owned
+        if owned is None:
+            self._chunks = dict(self._chunks)
+            self._masks = dict(self._masks)
+            owned = self._owned = set()
+        index, offset = divmod(lba, CHUNK_SECTORS)
+        chunk = self._chunks.get(index)
+        if chunk is None:
+            chunk = self._chunks[index] = bytearray(CHUNK_SECTORS * size)
+            self._masks[index] = 0
+            owned.add(index)
+        elif index not in owned:
+            chunk = self._chunks[index] = bytearray(chunk)
+            owned.add(index)
+        start = offset * size
+        chunk[start:start + size] = data
+        bit = 1 << offset
+        mask = self._masks[index]
+        if not mask & bit:
+            self._masks[index] = mask | bit
+            self._count += 1
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SectorSnapshot):
+            if self._count != other._count:
+                return False
+            return all(other.get(lba) == sector
+                       for lba, sector in self.items())
+        if isinstance(other, Mapping) or isinstance(other, dict):
+            if len(other) != self._count:
+                return False
+            return all(other.get(lba) == sector
+                       for lba, sector in self.items())
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+
+#: What restore() accepts: a live snapshot, or a plain sparse
+#: LBA -> bytes dict (e.g. ``dict(snapshot)``).
+Snapshot = Union[SectorSnapshot, Dict[int, bytes]]
+
 
 class SectorStore:
-    """A sparse map from LBA to immutable sector contents."""
+    """A sparse, chunked map from LBA to sector contents."""
 
-    __slots__ = ("total_sectors", "sector_size", "_zero", "_sectors",
-                 "_shared", "_extent_cache")
+    __slots__ = ("total_sectors", "sector_size", "_chunk_bytes",
+                 "_zero_chunk", "_chunks", "_masks", "_owned", "_shared",
+                 "_written_count", "_extent_cache")
 
     def __init__(self, total_sectors: Sectors,
                  sector_size: int = SECTOR_SIZE) -> None:
@@ -41,34 +213,74 @@ class SectorStore:
             raise AddressError(f"total_sectors must be >= 1, got {total_sectors}")
         self.total_sectors = total_sectors
         self.sector_size = sector_size
-        self._zero = bytes(sector_size)
-        self._sectors: Dict[int, bytes] = {}
-        #: True while ``_sectors`` is shared with a snapshot (copy-on-write).
+        self._chunk_bytes = CHUNK_SECTORS * sector_size
+        self._zero_chunk = bytes(self._chunk_bytes)
+        #: chunk index -> CHUNK_SECTORS sectors of raw bytes.
+        self._chunks: Dict[int, bytearray] = {}
+        #: chunk index -> bitmask of written sectors within the chunk.
+        self._masks: Dict[int, int] = {}
+        #: Chunks whose buffer is exclusively ours (safe to mutate in
+        #: place).  Everything else is shared with a snapshot.
+        self._owned: Set[int] = set()
+        #: True while the *dicts* are shared with a snapshot.
         self._shared = False
+        self._written_count = 0
         self._extent_cache: Optional[List[Tuple[int, int]]] = None
 
     def __len__(self) -> int:
         """Number of sectors that have ever been written."""
-        return len(self._sectors)
+        return self._written_count
+
+    # ------------------------------------------------------------------
+    # Copy-on-write plumbing
+
+    def _writable_chunk(self, index: int) -> bytearray:
+        """The chunk buffer for ``index``, owned and safe to mutate."""
+        if self._shared:
+            self._chunks = dict(self._chunks)
+            self._masks = dict(self._masks)
+            self._shared = False
+            self._owned.clear()
+        chunk = self._chunks.get(index)
+        if chunk is None:
+            chunk = bytearray(self._chunk_bytes)
+            self._chunks[index] = chunk
+            self._masks[index] = 0
+            self._owned.add(index)
+        elif index not in self._owned:
+            chunk = bytearray(chunk)
+            self._chunks[index] = chunk
+            self._owned.add(index)
+        return chunk
+
+    def _privatize_maps(self) -> None:
+        self._chunks = dict(self._chunks)
+        self._masks = dict(self._masks)
+        self._shared = False
+        self._owned.clear()
+
+    # ------------------------------------------------------------------
+    # Write path
 
     def write_sector(self, lba: Lba, data: bytes) -> None:
         """Store one sector of exactly ``sector_size`` bytes at ``lba``."""
         if lba < 0 or lba >= self.total_sectors:
             self._check_lba(lba)
-        if len(data) != self.sector_size:
+        size = self.sector_size
+        if len(data) != size:
             raise AddressError(
-                f"sector write must be exactly {self.sector_size} bytes, "
+                f"sector write must be exactly {size} bytes, "
                 f"got {len(data)}")
-        if self._shared:
-            self._privatize()
         self._extent_cache = None
-        self._sectors[lba] = bytes(data)
-
-    def read_sector(self, lba: Lba) -> bytes:
-        """Read one sector; unwritten sectors are all-zeros."""
-        if lba < 0 or lba >= self.total_sectors:
-            self._check_lba(lba)
-        return self._sectors.get(lba, self._zero)
+        index, offset = divmod(lba, CHUNK_SECTORS)
+        chunk = self._writable_chunk(index)
+        start = offset * size
+        chunk[start:start + size] = data
+        bit = 1 << offset
+        mask = self._masks[index]
+        if not mask & bit:
+            self._masks[index] = mask | bit
+            self._written_count += 1
 
     def write(self, lba: Lba, data: bytes) -> None:
         """Store a multi-sector extent; ``data`` is padded to whole sectors."""
@@ -79,85 +291,214 @@ class SectorStore:
         nsectors = (length + size - 1) // size
         if lba < 0 or nsectors < 1 or lba + nsectors > self.total_sectors:
             self._check_extent(lba, nsectors)
-        if self._shared:
-            self._privatize()
-        self._extent_cache = None
-        sectors = self._sectors
-        if type(data) is not bytes:
-            data = bytes(data)
-        if nsectors == 1:
-            sectors[lba] = data if length == size else data + bytes(size - length)
-            return
         if length != nsectors * size:
-            data = data + bytes(nsectors * size - length)
-        # Slicing immutable bytes yields the per-sector values directly;
-        # no intermediate padded buffer, no bytes() re-wrap.
-        start = 0
-        for index in range(nsectors):
-            sectors[lba + index] = data[start:start + size]
-            start += size
+            data = bytes(data) + bytes(nsectors * size - length)
+        self._extent_cache = None
+        index, offset = divmod(lba, CHUNK_SECTORS)
+        if offset + nsectors <= CHUNK_SECTORS:
+            # Single-chunk fast path: one splice, one mask update.
+            chunk = self._writable_chunk(index)
+            start = offset * size
+            chunk[start:start + len(data)] = data
+            masks = self._masks
+            bits = ((1 << nsectors) - 1) << offset
+            mask = masks[index]
+            added = bits & ~mask
+            if added:
+                masks[index] = mask | bits
+                self._written_count += added.bit_count()
+            return
+        masks = self._masks
+        position = 0
+        remaining = nsectors
+        while remaining:
+            index, offset = divmod(lba, CHUNK_SECTORS)
+            take = CHUNK_SECTORS - offset
+            if take > remaining:
+                take = remaining
+            chunk = self._writable_chunk(index)
+            masks = self._masks  # _writable_chunk may have copied it
+            start = offset * size
+            nbytes = take * size
+            chunk[start:start + nbytes] = memoryview(data)[
+                position:position + nbytes]
+            bits = ((1 << take) - 1) << offset
+            mask = masks[index]
+            added = bits & ~mask
+            if added:
+                masks[index] = mask | bits
+                self._written_count += added.bit_count()
+            lba += take
+            position += nbytes
+            remaining -= take
+
+    # ------------------------------------------------------------------
+    # Read path
+
+    def read_sector(self, lba: Lba) -> bytes:
+        """Read one sector; unwritten sectors are all-zeros."""
+        if lba < 0 or lba >= self.total_sectors:
+            self._check_lba(lba)
+        index, offset = divmod(lba, CHUNK_SECTORS)
+        chunk = self._chunks.get(index)
+        size = self.sector_size
+        start = offset * size
+        if chunk is None:
+            return self._zero_chunk[start:start + size]
+        return bytes(chunk[start:start + size])
 
     def read(self, lba: Lba, nsectors: Sectors) -> bytes:
         """Read ``nsectors`` contiguous sectors starting at ``lba``."""
         if lba < 0 or nsectors < 1 or lba + nsectors > self.total_sectors:
             self._check_extent(lba, nsectors)
-        sectors = self._sectors
-        if nsectors == 1:
-            return sectors.get(lba, self._zero)
-        if not sectors:
-            return self._zero * nsectors
-        get = sectors.get
-        zero = self._zero
-        return b"".join([get(lba + index, zero) for index in range(nsectors)])
+        size = self.sector_size
+        chunks = self._chunks
+        index, offset = divmod(lba, CHUNK_SECTORS)
+        if offset + nsectors <= CHUNK_SECTORS:
+            # Single-chunk fast path.
+            chunk = chunks.get(index)
+            start = offset * size
+            nbytes = nsectors * size
+            if chunk is None:
+                return self._zero_chunk[start:start + nbytes]
+            return bytes(chunk[start:start + nbytes])
+        parts: List[bytes] = []
+        zero = self._zero_chunk
+        remaining = nsectors
+        while remaining:
+            take = CHUNK_SECTORS - offset
+            if take > remaining:
+                take = remaining
+            chunk = chunks.get(index)
+            start = offset * size
+            nbytes = take * size
+            if chunk is None:
+                parts.append(zero[start:start + nbytes])
+            else:
+                parts.append(bytes(chunk[start:start + nbytes]))
+            remaining -= take
+            index += 1
+            offset = 0
+        return b"".join(parts)
 
     def is_written(self, lba: Lba) -> bool:
         """True if ``lba`` has been written since format/clear."""
         if lba < 0 or lba >= self.total_sectors:
             self._check_lba(lba)
-        return lba in self._sectors
+        index, offset = divmod(lba, CHUNK_SECTORS)
+        return bool(self._masks.get(index, 0) >> offset & 1)
+
+    # ------------------------------------------------------------------
+    # Erase path
 
     def clear(self) -> None:
         """Reset every sector to zeros (re-format)."""
         if self._shared:
-            # The old map lives on in a snapshot; start a fresh one.
-            self._sectors = {}
+            # The old maps live on in a snapshot; start fresh ones.
+            self._chunks = {}
+            self._masks = {}
             self._shared = False
         else:
-            self._sectors.clear()
+            self._chunks.clear()
+            self._masks.clear()
+        self._owned.clear()
+        self._written_count = 0
         self._extent_cache = None
 
     def erase(self, lba: Lba, nsectors: Sectors) -> None:
         """Zero an extent (used when Trail's format tool wipes the log)."""
         if lba < 0 or nsectors < 1 or lba + nsectors > self.total_sectors:
             self._check_extent(lba, nsectors)
-        end = lba + nsectors
-        if lba == 0 and end >= self.total_sectors:
+        if lba == 0 and lba + nsectors >= self.total_sectors:
             self.clear()
             return
-        if self._shared:
-            self._privatize()
         self._extent_cache = None
-        sectors = self._sectors
-        if nsectors > len(sectors):
-            # Large extent over a sparse map: walk the written keys once
-            # instead of probing every LBA in the range.
-            for key in [key for key in sectors if lba <= key < end]:
-                del sectors[key]
+        size = self.sector_size
+        remaining = nsectors
+        while remaining:
+            index, offset = divmod(lba, CHUNK_SECTORS)
+            take = CHUNK_SECTORS - offset
+            if take > remaining:
+                take = remaining
+            mask = self._masks.get(index)
+            if mask is None:
+                lba += take
+                remaining -= take
+                continue
+            bits = ((1 << take) - 1) << offset
+            removed = mask & bits
+            new_mask = mask & ~bits
+            if removed:
+                self._written_count -= removed.bit_count()
+            if new_mask == 0:
+                if self._shared:
+                    self._privatize_maps()
+                del self._chunks[index]
+                del self._masks[index]
+                self._owned.discard(index)
+            elif removed:
+                chunk = self._writable_chunk(index)
+                start = offset * size
+                nbytes = take * size
+                chunk[start:start + nbytes] = self._zero_chunk[:nbytes]
+                self._masks[index] = new_mask
+            lba += take
+            remaining -= take
+
+    # ------------------------------------------------------------------
+    # Snapshots
+
+    def snapshot(self) -> SectorSnapshot:
+        """O(1) copy-on-write view of the persistent state."""
+        self._shared = True
+        # Every chunk buffer is now referenced by the snapshot; the
+        # next in-place mutation must copy its chunk first.
+        self._owned = set()
+        return SectorSnapshot(self.sector_size, self._chunks, self._masks,
+                              self._written_count)
+
+    def restore(self, snapshot: Snapshot) -> None:
+        """Rewind the store to a previously captured snapshot.
+
+        Accepts a :class:`SectorSnapshot` (adopted copy-on-write) or a
+        plain sparse ``{lba: sector_bytes}`` dict.
+        """
+        if isinstance(snapshot, SectorSnapshot):
+            self._chunks = snapshot._chunks
+            self._masks = snapshot._masks
+            self._written_count = snapshot._count
+            self._shared = True
+            self._owned = set()
+            # The snapshot's buffers are now also ours; neither side
+            # may keep mutating chunks in place.
+            snapshot._owned = None
         else:
-            pop = sectors.pop
-            for address in range(lba, end):
-                pop(address, None)
-
-    def snapshot(self) -> Dict[int, bytes]:
-        """O(1) copy-on-write view of the persistent state (read-only)."""
-        self._shared = True
-        return self._sectors
-
-    def restore(self, snapshot: Dict[int, bytes]) -> None:
-        """Rewind the store to a previously captured snapshot."""
-        self._sectors = snapshot
-        self._shared = True
+            size = self.sector_size
+            chunks: Dict[int, bytearray] = {}
+            masks: Dict[int, int] = {}
+            count = 0
+            chunk_bytes = self._chunk_bytes
+            for lba, sector in snapshot.items():
+                index, offset = divmod(lba, CHUNK_SECTORS)
+                chunk = chunks.get(index)
+                if chunk is None:
+                    chunk = chunks[index] = bytearray(chunk_bytes)
+                    masks[index] = 0
+                start = offset * size
+                chunk[start:start + size] = sector
+                bit = 1 << offset
+                if not masks[index] & bit:
+                    masks[index] |= bit
+                    count += 1
+            self._chunks = chunks
+            self._masks = masks
+            self._written_count = count
+            self._shared = False
+            self._owned = set(chunks)
         self._extent_cache = None
+
+    # ------------------------------------------------------------------
+    # Introspection
 
     def written_extents(self) -> Iterator[Tuple[int, int]]:
         """Yield maximal (start_lba, nsectors) runs of written sectors.
@@ -167,26 +508,29 @@ class SectorStore:
         cache = self._extent_cache
         if cache is None:
             cache = []
-            run_start: Optional[int] = None
-            previous = -2  # only read after run_start is set
-            for lba in sorted(self._sectors):
-                if run_start is None:
-                    run_start = lba
-                elif lba != previous + 1:
-                    cache.append((run_start, previous - run_start + 1))
-                    run_start = lba
-                previous = lba
-            if run_start is not None:
-                cache.append((run_start, previous - run_start + 1))
+            run_start = -1
+            run_end = -1  # one past the last LBA of the open run
+            masks = self._masks
+            for index in sorted(masks):
+                mask = masks[index]
+                if not mask:
+                    continue
+                base = index * CHUNK_SECTORS
+                for low, run_length in _mask_runs(mask):
+                    start = base + low
+                    if start == run_end:
+                        run_end += run_length
+                    else:
+                        if run_start >= 0:
+                            cache.append((run_start, run_end - run_start))
+                        run_start = start
+                        run_end = start + run_length
+            if run_start >= 0:
+                cache.append((run_start, run_end - run_start))
             self._extent_cache = cache
         return iter(cache)
 
     # ------------------------------------------------------------------
-
-    def _privatize(self) -> None:
-        """Detach from a shared snapshot before the first mutation."""
-        self._sectors = dict(self._sectors)
-        self._shared = False
 
     def _check_lba(self, lba: int) -> None:
         if not 0 <= lba < self.total_sectors:

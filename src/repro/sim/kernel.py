@@ -171,8 +171,77 @@ class Simulation:
         popleft = ready.popleft
         trace = self._trace
         sanitizer = self.sanitizer
+        if until is None and trace is None and sanitizer is None:
+            # Fast drain-to-empty variant: no deadline, trace, or
+            # sanitizer checks in the loop, and runs of ready events are
+            # drained in a batch.  Two invariants make the batch safe:
+            # every entry in ``ready`` carries the same time (the
+            # current ``now``), and heap pushes made by a callback are
+            # strictly later than ``now`` — so once the ready head
+            # precedes the heap head, the whole ready run does, and new
+            # heap arrivals cannot preempt it.
+            while True:
+                if ready:
+                    if heap:
+                        heap_head = heap[0]
+                        if heap_head < ready[0]:
+                            when, sequence, event = pop(heap)
+                        else:
+                            # Batched ready drain against the cached
+                            # heap head: while it is unchanged and
+                            # strictly ahead of the ready run, only a
+                            # float compare per event is needed.  Any
+                            # push that displaces the head falls back
+                            # to the full (time, sequence) compare.
+                            heap_time = heap_head[0]
+                            while True:
+                                when, sequence, event = popleft()
+                                self._now = when
+                                event._processed = True
+                                callback = event._cb1
+                                if callback is not None:
+                                    event._cb1 = None
+                                    more = event._callbacks
+                                    if more is None:
+                                        callback(event)
+                                    else:
+                                        event._callbacks = None
+                                        callback(event)
+                                        for callback in more:
+                                            callback(event)
+                                if event._exception is not None \
+                                        and not event._defused:
+                                    raise event._exception
+                                if (not ready or ready[0][0] >= heap_time
+                                        or heap[0] is not heap_head):
+                                    break
+                            continue
+                    else:
+                        when, sequence, event = popleft()
+                elif heap:
+                    when, sequence, event = pop(heap)
+                else:
+                    break
+                self._now = when
+                event._processed = True
+                callback = event._cb1
+                if callback is not None:
+                    event._cb1 = None
+                    more = event._callbacks
+                    if more is None:
+                        callback(event)
+                    else:
+                        event._callbacks = None
+                        callback(event)
+                        for callback in more:
+                            callback(event)
+                if event._exception is not None and not event._defused:
+                    raise event._exception
+            return self._now
         if until is None:
-            # Drain-to-empty variant: no deadline comparisons in the loop.
+            # Instrumented drain-to-empty variant (tracing or the
+            # runtime sanitizer active): per-event bookkeeping, same
+            # dispatch order as the fast loop.
             while True:
                 # Pop the globally smallest (time, sequence) of both queues.
                 if ready:
@@ -263,14 +332,50 @@ class Simulation:
 
         Unlike :meth:`run`, this terminates even when perpetual
         background processes (write-back loops, idle repositioners)
-        keep the event queues non-empty.
+        keep the event queues non-empty.  The dispatch body is the same
+        inlined loop as :meth:`run` (the per-event ``_step`` frame used
+        to dominate fig3-style sync-write runs); tracing or the
+        sanitizer fall back to the instrumented single-step path.
         """
-        while not event._processed:
-            if not self._heap and not self._ready:
+        target = event
+        if self._trace is not None or self.sanitizer is not None:
+            while not target._processed:
+                if not self._heap and not self._ready:
+                    raise SimulationError(
+                        "event cannot fire: the event heap is empty")
+                self._step()
+            return target.value
+        heap = self._heap
+        ready = self._ready
+        pop = heappop
+        popleft = ready.popleft
+        while not target._processed:
+            if ready:
+                if heap and heap[0] < ready[0]:
+                    when, _sequence, event = pop(heap)
+                else:
+                    when, _sequence, event = popleft()
+            elif heap:
+                when, _sequence, event = pop(heap)
+            else:
                 raise SimulationError(
                     "event cannot fire: the event heap is empty")
-            self._step()
-        return event.value
+            self._now = when
+            event._processed = True
+            callback = event._cb1
+            if callback is not None:
+                event._cb1 = None
+                more = event._callbacks
+                if more is None:
+                    callback(event)
+                else:
+                    event._callbacks = None
+                    callback(event)
+                    for callback in more:
+                        callback(event)
+            if event._exception is not None and not event._defused:
+                raise event._exception
+        return target.value
 
     def _step(self) -> None:
         ready = self._ready

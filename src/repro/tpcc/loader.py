@@ -6,13 +6,21 @@ compact *domain state* the transactions need (stock quantities, next
 order ids, undelivered-order queues, order metadata).  Population is an
 offline step, like the paper's pre-built database; the optional cache
 warm-up stands in for its 200,000 warm-up transactions.
+
+Hot-path notes (see docs/PERFORMANCE.md): the 30,000 initial orders per
+warehouse are *lazy* — their metadata is a pure function of the seed
+and the order index, computed on first touch by ``__missing__`` instead
+of materialized up front.  The initial order→customer assignment is an
+affine permutation (invertible, so a customer's initial order is also
+O(1)), which preserves the clause 4.3 invariant that each 3000-order
+block touches every customer of its district exactly once.
 """
 
 from __future__ import annotations
 
 from array import array
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Tuple
 
 from repro.db.engine import Table, TableSpec, TransactionEngine
 from repro.tpcc.random_gen import TpccRandom
@@ -27,6 +35,103 @@ LOG_DISK = 0
 TABLE_DISK_A = 1
 TABLE_DISK_B = 2
 
+#: Multiplier of the per-district affine customer permutation.  Coprime
+#: to CUSTOMERS_PER_DISTRICT (= 2^3·3·5^3 · nothing in common with the
+#: prime 1021), so orders 1..3000 hit each customer exactly once.
+_PERM_MULT = 1021
+_PERM_INV = pow(_PERM_MULT, -1, CUSTOMERS_PER_DISTRICT)
+#: Knuth multiplicative-hash constants for the per-order draws.
+_HASH_MULT = 2654435761
+_HASH_GOLDEN = 0x9E3779B9
+
+
+def _district_offset(seed: int, district_index: int) -> int:
+    """Per-district rotation of the customer permutation."""
+    return (seed * _HASH_MULT
+            + district_index * 40503) % CUSTOMERS_PER_DISTRICT
+
+
+def _initial_ol_cnt(seed: int, order_index: int) -> int:
+    """Deterministic ol_cnt in [5, 15] for an initial order."""
+    h = (order_index * _HASH_MULT + seed * _HASH_GOLDEN) & 0xFFFFFFFF
+    return 5 + (h >> 7) % 11
+
+
+class _LazyOrderInfo(Dict[int, Tuple[int, int, bool]]):
+    """order global index -> (customer id, ol_cnt, delivered flag).
+
+    Entries for the 3000 initial orders per district are computed on
+    demand (never cached — iteration and ``dict(...)`` copies only see
+    explicitly stored entries, i.e. orders the run itself created or
+    delivered).  Indexes past the initial block that were never stored
+    raise ``KeyError`` exactly like a plain dict.
+    """
+
+    def __init__(self, scale: TpccScale, seed: int) -> None:
+        super().__init__()
+        self._scale = scale
+        self._seed = seed
+
+    def __missing__(self, order_index: int) -> Tuple[int, int, bool]:
+        opd = self._scale.orders_per_district
+        district_index, o_off = divmod(order_index, opd)
+        if (o_off >= INITIAL_ORDERS_PER_DISTRICT or order_index < 0
+                or district_index >= self._scale.districts):
+            raise KeyError(order_index)
+        o = o_off + 1
+        c = (o_off * _PERM_MULT
+             + _district_offset(self._seed, district_index)) \
+            % CUSTOMERS_PER_DISTRICT + 1
+        ol_cnt = _initial_ol_cnt(self._seed, order_index)
+        delivered = o <= (INITIAL_ORDERS_PER_DISTRICT
+                          - INITIAL_NEW_ORDERS_PER_DISTRICT)
+        return (c, ol_cnt, delivered)
+
+    def get(self, key, default=None):  # type: ignore[override]
+        """Like ``dict.get`` but consulting the lazy initial orders."""
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+
+class _LazyLastOrder(Dict[int, int]):
+    """customer global index -> most recent order id in its district.
+
+    The affine permutation is inverted in O(1): absent an explicit
+    store (a New-Order during the run), a customer's last order is its
+    unique initial order.
+    """
+
+    def __init__(self, scale: TpccScale, seed: int) -> None:
+        super().__init__()
+        self._scale = scale
+        self._seed = seed
+
+    def __missing__(self, customer_index: int) -> int:
+        district_index, c_off = divmod(customer_index,
+                                       CUSTOMERS_PER_DISTRICT)
+        if (customer_index < 0
+                or district_index >= self._scale.districts):
+            raise KeyError(customer_index)
+        offset = _district_offset(self._seed, district_index)
+        return (c_off - offset) * _PERM_INV % CUSTOMERS_PER_DISTRICT + 1
+
+    def get(self, key, default=None):  # type: ignore[override]
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __contains__(self, key: object) -> bool:
+        if dict.__contains__(self, key):
+            return True
+        try:
+            self[key]  # type: ignore[index]
+            return True
+        except (KeyError, TypeError):
+            return False
+
 
 class TpccDatabase:
     """Tables plus in-memory domain state for a TPC-C database."""
@@ -35,7 +140,7 @@ class TpccDatabase:
         self,
         engine: TransactionEngine,
         scale: TpccScale,
-        rnd: Optional[TpccRandom] = None,
+        rnd: TpccRandom | None = None,
     ) -> None:
         self.engine = engine
         self.scale = scale
@@ -85,30 +190,29 @@ class TpccDatabase:
         """Populate domain state per the clause 4.3 rules (offline)."""
         scale = self.scale
         self.stock_quantity = array(
-            "i", (self.rnd.uniform(10, 100) for _ in range(scale.stock_rows)))
+            "i", self.rnd.uniform_many(10, 100, scale.stock_rows))
         self.stock_ytd = array("i", [0]) * scale.stock_rows
         self.customer_balance = array("d", [-10.0]) * scale.customers
         self.warehouse_ytd = array("d", [300_000.0]) * scale.warehouses
         self.district_ytd = array("d", [30_000.0]) * scale.districts
 
         self.next_o_id = [INITIAL_ORDERS_PER_DISTRICT + 1] * scale.districts
-        self.undelivered = [deque() for _ in range(scale.districts)]
-        for w in range(1, scale.warehouses + 1):
-            for d in range(1, DISTRICTS_PER_WAREHOUSE + 1):
-                district_index = scale.district_index(w, d)
-                # Initial orders are assigned customers by permutation.
-                customers = list(range(1, CUSTOMERS_PER_DISTRICT + 1))
-                self.rnd.shuffle(customers)
-                for o in range(1, INITIAL_ORDERS_PER_DISTRICT + 1):
-                    c = customers[(o - 1) % CUSTOMERS_PER_DISTRICT]
-                    ol_cnt = self.rnd.order_line_count()
-                    delivered = o <= (INITIAL_ORDERS_PER_DISTRICT
-                                      - INITIAL_NEW_ORDERS_PER_DISTRICT)
-                    order_index = scale.order_index(w, d, o)
-                    self.order_info[order_index] = (c, ol_cnt, delivered)
-                    self.last_order_of[scale.customer_index(w, d, c)] = o
-                    if not delivered:
-                        self.undelivered[district_index].append(o)
+        # The most recent 900 orders per district are undelivered,
+        # oldest first (clause 4.3.3.1).
+        first_undelivered = (INITIAL_ORDERS_PER_DISTRICT
+                             - INITIAL_NEW_ORDERS_PER_DISTRICT + 1)
+        self.undelivered = [
+            deque(range(first_undelivered, INITIAL_ORDERS_PER_DISTRICT + 1))
+            for _ in range(scale.districts)
+        ]
+        # Initial order metadata is computed on first touch: the
+        # permutation assigning customers to the 3000 initial orders of
+        # each district is affine (and inverted for last_order_of), so
+        # nothing about the 30,000-orders-per-warehouse block needs to
+        # be materialized here.
+        seed = self.rnd.seed
+        self.order_info = _LazyOrderInfo(scale, seed)
+        self.last_order_of = _LazyLastOrder(scale, seed)
         self.history_next = scale.customers  # one history row per customer
         self.loaded = True
 
@@ -118,41 +222,40 @@ class TpccDatabase:
         """Preload the hottest pages into the buffer pool (LRU-coldest
         first so the pool evicts the right things under pressure).
 
-        Returns the number of pages made resident.
+        Returns the number of pages made resident.  Each plan entry is
+        a contiguous record range, so it maps to one contiguous page
+        extent — the pool walks pages, not records.
         """
         pool = self.engine.pool
         loaded = 0
         # Cold-ish first: order pipeline around the current tail, then
         # item/stock/customer, then the tiny hot tables last (most
         # recently used, least likely to be evicted).
-        plan: List[Tuple[Table, range]] = []
+        plan: List[Tuple[Table, int, int]] = []
         scale = self.scale
         for w in range(1, scale.warehouses + 1):
             for d in range(1, DISTRICTS_PER_WAREHOUSE + 1):
                 tail = self.next_o_id[scale.district_index(w, d)]
                 low = max(1, tail - 1000)
-                plan.append((self.order_line, range(
-                    scale.order_line_index(w, d, low, 1),
-                    scale.order_line_index(
-                        w, d, min(tail, scale.orders_per_district),
-                        1) + 1)))
-                plan.append((self.order, range(
-                    scale.order_index(w, d, low),
-                    scale.order_index(
-                        w, d, min(tail, scale.orders_per_district)) + 1)))
-        plan.append((self.item, range(0, ITEMS)))
-        plan.append((self.stock, range(0, scale.stock_rows)))
-        plan.append((self.customer, range(0, scale.customers)))
-        plan.append((self.district, range(0, scale.districts)))
-        plan.append((self.warehouse, range(0, scale.warehouses)))
+                high = min(tail, scale.orders_per_district)
+                plan.append((self.order_line,
+                             scale.order_line_index(w, d, low, 1),
+                             scale.order_line_index(w, d, high, 1)))
+                plan.append((self.order,
+                             scale.order_index(w, d, low),
+                             scale.order_index(w, d, high)))
+        plan.append((self.item, 0, ITEMS - 1))
+        plan.append((self.stock, 0, scale.stock_rows - 1))
+        plan.append((self.customer, 0, scale.customers - 1))
+        plan.append((self.district, 0, scale.districts - 1))
+        plan.append((self.warehouse, 0, scale.warehouses - 1))
 
-        for table, indexes in plan:
-            seen_pages = set()
-            for index in indexes:
-                lba = table.page_of(index)
-                if lba in seen_pages:
-                    continue
-                seen_pages.add(lba)
-                if pool.preload(table.disk_id, lba):
-                    loaded += 1
+        for table, first_index, last_index in plan:
+            if last_index < first_index:
+                continue
+            first_lba = table.page_of(first_index)
+            last_lba = table.page_of(last_index)
+            page_count = (last_lba - first_lba) // table.page_sectors + 1
+            loaded += pool.preload_extent(table.disk_id, first_lba,
+                                          page_count)
         return loaded

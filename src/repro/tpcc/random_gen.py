@@ -35,11 +35,46 @@ class TpccRandom:
     C_ITEM_ID = 987
 
     def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
         self._rng = random.Random(seed)
+        #: Bound method cached for the hot draws below: every uniform
+        #: draw costs one C-level ``random()`` call instead of the
+        #: layered ``randint`` -> ``randrange`` -> ``getrandbits`` path.
+        self._random = self._rng.random
 
     def uniform(self, low: int, high: int) -> int:
         """Uniform integer in [low, high] inclusive."""
-        return self._rng.randint(low, high)
+        # random() < 1.0 strictly, so the scaled draw stays < span for
+        # any span far below 2**53 (TPC-C spans top out at 100,000).
+        return low + int(self._random() * (high - low + 1))
+
+    def uniform_many(self, low: int, high: int, count: int) -> List[int]:
+        """``count`` uniform integers in [low, high] (bulk population).
+
+        When the whole range fits in a byte the draw runs at C speed:
+        seeded ``randbytes`` filtered by rejection sampling (bytes at or
+        above the largest multiple of the span are discarded, keeping
+        the distribution exactly uniform) and mapped through a
+        translation table.  Larger ranges fall back to scaled
+        ``random()`` draws.
+        """
+        span = high - low + 1
+        if 0 <= low and high <= 0xFF and count >= 64:
+            limit = span * (0x100 // span)
+            table = bytes(low + byte % span if byte < limit else 0
+                          for byte in range(0x100))
+            reject = bytes(range(limit, 0x100))
+            randbytes = self._rng.randbytes
+            values = bytearray()
+            while len(values) < count:
+                need = count - len(values)
+                # Oversample for the expected rejection rate so one
+                # round usually suffices.
+                raw = randbytes(need + (need * (0x100 - limit) >> 8) + 32)
+                values += raw.translate(table, reject)
+            return list(values[:count])
+        r = self._random
+        return [low + int(r() * span) for _ in range(count)]
 
     def decimal(self, low: float, high: float) -> float:
         """Uniform float in [low, high]."""

@@ -188,3 +188,43 @@ class TestGeometryRecord:
             decode_geometry(bytes(2))
         with pytest.raises(LogFormatError):
             decode_geometry(bytes(512))  # zone_count 0
+
+
+class TestRawEncoderByteCompat:
+    """encode_record_raw (the driver's flattened-tuple hot path) must
+    produce exactly what the dataclass-based encode_record produces."""
+
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=512, max_size=512), min_size=1, max_size=6),
+        epoch=st.integers(min_value=0, max_value=2**32 - 1),
+        sequence_id=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_matches_dataclass_encoder(self, payloads, epoch, sequence_id):
+        from repro.core.format import encode_record_raw
+        header = make_record(payloads, epoch=epoch,
+                             sequence_id=sequence_id)
+        entries = [(entry.first_data_byte, entry.log_lba, entry.data_lba,
+                    entry.data_major, entry.data_minor)
+                   for entry in header.entries]
+        assert encode_record_raw(
+            epoch, sequence_id, header.prev_sect, header.log_head,
+            entries, payloads) == encode_record(header, payloads)
+
+    def test_validation_matches(self):
+        from repro.core.format import encode_record_raw
+        good = bytes([0x42]) + bytes(511)
+        with pytest.raises(LogFormatError, match="payload sectors"):
+            encode_record_raw(1, 1, NULL_LBA, 0, [], [good])
+        with pytest.raises(LogFormatError, match="MAX_TRAIL_BATCH"):
+            encode_record_raw(
+                1, 1, NULL_LBA, 0,
+                [(0x42, index, index, 0, 0)
+                 for index in range(MAX_TRAIL_BATCH + 1)],
+                [good] * (MAX_TRAIL_BATCH + 1))
+        with pytest.raises(LogFormatError, match="must be 512 bytes"):
+            encode_record_raw(1, 1, NULL_LBA, 0, [(0x42, 1, 1, 0, 0)],
+                              [good[:-1]])
+        with pytest.raises(LogFormatError, match="first byte"):
+            encode_record_raw(1, 1, NULL_LBA, 0, [(0x43, 1, 1, 0, 0)],
+                              [good])

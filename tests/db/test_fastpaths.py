@@ -1,0 +1,223 @@
+"""Unit tests pinning the DB fast paths added by the perf work.
+
+Three hot paths got synchronous shortcuts that bypass the kernel:
+``LockManager.try_acquire``, ``BufferPool.try_fetch`` (+ pin/unpin
+accounting the evictor relies on), and the preallocated-buffer WAL
+record encoder.  Each shortcut must behave exactly like the slow path
+it shadows — these tests hold them to that.
+"""
+
+import struct
+
+import pytest
+
+from repro.baselines.group_commit import SyncCommitPolicy
+from repro.baselines.standard import StandardDriver
+from repro.db.engine import TransactionEngine
+from repro.db.locks import LockManager, LockMode
+from repro.db.pages import BufferPool
+from repro.db.wal import WriteAheadLog
+from repro.errors import DatabaseError
+from tests.conftest import drive_to_completion, make_tiny_drive
+
+
+def make_pool(sim, capacity_pages=4):
+    disk = make_tiny_drive(sim, "tab", cylinders=40, heads=2,
+                           sectors_per_track=16)
+    device = StandardDriver(sim, {0: disk})
+    return BufferPool(sim, device, capacity_pages=capacity_pages,
+                      page_sectors=4, flush_interval_ms=0.0)
+
+
+def fetch(sim, pool, lba, dirty=False):
+    def body():
+        frame = yield pool.fetch(0, lba, dirty=dirty)
+        return frame
+    return drive_to_completion(sim, body())
+
+
+class TestLockQueueOrdering:
+    """The synchronous grant path must never jump the FIFO queue."""
+
+    def test_try_acquire_grants_uncontended(self, sim):
+        manager = LockManager(sim)
+        assert manager.try_acquire("a", "r", LockMode.SHARED)
+        assert manager.try_acquire("b", "r", LockMode.SHARED)
+        assert manager.stats.acquisitions == 2
+        assert manager.stats.waits == 0
+
+    def test_try_acquire_refuses_conflicts(self, sim):
+        manager = LockManager(sim)
+        assert manager.try_acquire("a", "r", LockMode.EXCLUSIVE)
+        assert not manager.try_acquire("b", "r", LockMode.SHARED)
+        assert not manager.try_acquire("b", "r", LockMode.EXCLUSIVE)
+
+    def test_try_acquire_is_reentrant(self, sim):
+        manager = LockManager(sim)
+        assert manager.try_acquire("a", "r", LockMode.EXCLUSIVE)
+        # X covers a later S request from the same owner, and repeats.
+        assert manager.try_acquire("a", "r", LockMode.SHARED)
+        assert manager.try_acquire("a", "r", LockMode.EXCLUSIVE)
+
+    def test_compatible_request_queues_behind_waiters(self, sim):
+        """S after a queued X must wait: granting it synchronously
+        would starve the earlier exclusive waiter."""
+        manager = LockManager(sim, deadlock_timeout_ms=10_000.0)
+        assert manager.try_acquire("holder", "r", LockMode.SHARED)
+        manager.acquire("writer", "r", LockMode.EXCLUSIVE)
+        sim.run(until=1.0)
+        # The writer now waits; a shared request is mode-compatible
+        # with the *holders* but must still refuse the fast path.
+        assert not manager.try_acquire("late", "r", LockMode.SHARED)
+
+    def test_contended_grants_are_fifo(self, sim):
+        manager = LockManager(sim, deadlock_timeout_ms=10_000.0)
+        order = []
+
+        def holder():
+            yield manager.acquire("holder", "r", LockMode.EXCLUSIVE)
+            yield sim.timeout(5.0)
+            manager.release_all("holder")
+
+        def waiter(name, mode):
+            yield manager.acquire(name, "r", mode)
+            order.append(name)
+            yield sim.timeout(1.0)
+            manager.release_all(name)
+
+        sim.process(holder())
+        sim.run(until=1.0)
+        for index, mode in enumerate(
+                [LockMode.EXCLUSIVE, LockMode.SHARED, LockMode.EXCLUSIVE]):
+            sim.process(waiter(f"w{index}", mode))
+            sim.run(until=1.0 + 0.1 * (index + 1))
+        sim.run()
+        assert order == ["w0", "w1", "w2"]
+        assert manager.stats.waits == 3
+
+    def test_release_all_clears_held_index(self, sim):
+        manager = LockManager(sim)
+        for resource in ("a", "b", "c"):
+            assert manager.try_acquire("tx", resource, LockMode.SHARED)
+        assert sorted(manager.held_by("tx")) == ["a", "b", "c"]
+        manager.release_all("tx")
+        assert manager.held_by("tx") == []
+        # The table entry for fully released resources is reclaimed.
+        assert manager._locks == {}
+
+
+class TestPagePinAccounting:
+    """pin/unpin refcounts steer the evictor and must balance."""
+
+    def test_pin_survives_eviction_pressure(self, sim):
+        pool = make_pool(sim, capacity_pages=2)
+        fetch(sim, pool, 0)
+        pool.pin(0, 0)
+        # Fill past capacity: the pinned page is skipped, others evict.
+        fetch(sim, pool, 64)
+        fetch(sim, pool, 128)
+        assert pool.resident_pages == 2
+        assert (0, 0) in pool._frames
+        assert pool.stats.pinned_skips >= 1
+
+    def test_unpin_makes_page_evictable_again(self, sim):
+        pool = make_pool(sim, capacity_pages=2)
+        fetch(sim, pool, 0)
+        pool.pin(0, 0)
+        fetch(sim, pool, 64)
+        pool.unpin(0, 0)
+        assert pool.pinned_pages() == 0
+        fetch(sim, pool, 128)
+        fetch(sim, pool, 192)
+        assert (0, 0) not in pool._frames
+
+    def test_pin_counts_nest(self, sim):
+        pool = make_pool(sim)
+        fetch(sim, pool, 0)
+        pool.pin(0, 0)
+        pool.pin(0, 0)
+        pool.unpin(0, 0)
+        assert pool.pinned_pages() == 1
+        pool.unpin(0, 0)
+        assert pool.pinned_pages() == 0
+
+    def test_unbalanced_unpin_rejected(self, sim):
+        pool = make_pool(sim)
+        fetch(sim, pool, 0)
+        with pytest.raises(DatabaseError, match="unpin without pin"):
+            pool.unpin(0, 0)
+
+    def test_pin_of_non_resident_page_rejected(self, sim):
+        pool = make_pool(sim)
+        with pytest.raises(DatabaseError, match="non-resident"):
+            pool.pin(0, 0)
+
+    def test_fully_pinned_pool_raises_instead_of_spinning(self, sim):
+        pool = make_pool(sim, capacity_pages=2)
+        fetch(sim, pool, 0)
+        fetch(sim, pool, 64)
+        pool.pin(0, 0)
+        pool.pin(0, 64)
+        with pytest.raises(DatabaseError, match="every frame is pinned"):
+            fetch(sim, pool, 128)
+
+    def test_try_fetch_hit_updates_lru_and_stats(self, sim):
+        pool = make_pool(sim, capacity_pages=2)
+        fetch(sim, pool, 0)
+        fetch(sim, pool, 64)
+        before = pool.stats.hits
+        assert pool.try_fetch(0, 0) is not None
+        assert pool.stats.hits == before + 1
+        # The hit refreshed LRU position: the next eviction takes 64.
+        fetch(sim, pool, 128)
+        assert (0, 0) in pool._frames
+        assert (0, 64) not in pool._frames
+
+    def test_try_fetch_miss_returns_none_without_stats(self, sim):
+        pool = make_pool(sim)
+        misses = pool.stats.misses
+        assert pool.try_fetch(0, 0) is None
+        # try_fetch itself never counts a miss; fetch_miss does.
+        assert pool.stats.misses == misses
+
+    def test_dirty_hit_registers_exactly_once(self, sim):
+        pool = make_pool(sim)
+        fetch(sim, pool, 0)
+        pool.try_fetch(0, 0, dirty=True)
+        pool.try_fetch(0, 0, dirty=True)
+        assert pool.dirty_pages == 1
+
+
+class TestWalEncodeByteCompat:
+    """The cached-buffer encoder must match the original byte-for-byte."""
+
+    def _engine(self, sim):
+        disks = {0: make_tiny_drive(sim, "wal", cylinders=40),
+                 1: make_tiny_drive(sim, "tab", cylinders=40, heads=4,
+                                    sectors_per_track=32)}
+        device = StandardDriver(sim, disks)
+        wal = WriteAheadLog(sim, device, disk_id=0, start_lba=0,
+                            capacity_sectors=2048,
+                            policy=SyncCommitPolicy())
+        pool = BufferPool(sim, device, capacity_pages=64, page_sectors=4,
+                          flush_interval_ms=0.0)
+        return TransactionEngine(sim, device, wal, pool, LockManager(sim),
+                                 cpu_ms_per_op=0.01)
+
+    def test_matches_original_pack_plus_zeros(self, sim):
+        engine = self._engine(sim)
+        header = struct.Struct("<IHII")
+        for tx_id, table_id, index, payload in [
+                (1, 2, 3, 0), (7, 1, 900, 64), (2**31, 9, 0, 300),
+                (5, 5, 5, 64)]:
+            reference = header.pack(tx_id, table_id, index,
+                                    payload) + bytes(payload)
+            assert engine.encode_log_record(
+                tx_id, table_id, index, payload) == reference
+
+    def test_payload_cache_returns_equal_but_fresh_records(self, sim):
+        engine = self._engine(sim)
+        first = engine.encode_log_record(1, 1, 1, 128)
+        second = engine.encode_log_record(2, 1, 1, 128)
+        assert first[-128:] == second[-128:] == bytes(128)
+        assert first != second  # headers differ

@@ -1,17 +1,24 @@
 """Tier-1 perf smoke: the scenarios and reporter work, quickly.
 
-The real wall-clock gate (>= 2x over the checked-in baseline) lives in
-``benchmarks/perf/bench_wallclock.py`` and is excluded from tier-1 by
-``testpaths``.  This module is the fast stand-in that *does* run on
-every tier-1 invocation: every canonical scenario executes end-to-end
-at a tiny scale, the report schema stays stable, and the committed
-``BENCH_perf.json`` / baseline files stay well-formed.  Total budget:
-a couple of seconds.
+The real wall-clock gate (per-scenario speedups over the checked-in
+baseline) lives in ``benchmarks/perf/bench_wallclock.py`` and is
+excluded from tier-1 by ``testpaths``.  This module is the fast
+stand-in that *does* run on every tier-1 invocation: every canonical
+scenario executes end-to-end at a tiny scale, the report schema stays
+stable, and the committed ``BENCH_perf.json`` / baseline files stay
+well-formed.  Total budget: a couple of seconds.
+
+When ``PERF_FLOOR`` is set (the CI perf-smoke job does this), each
+scenario additionally runs at full scale and must clear a deliberately
+generous absolute ops/sec floor — roughly a fifth of the committed
+numbers.  That catches a 5x regression on CI hardware without making
+local ``make test`` runs flaky on slow or contended machines.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -24,6 +31,16 @@ REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 
 #: Small enough that the whole module stays far under the 30 s budget.
 SMOKE_SCALE = 0.02
+
+#: Absolute ops/sec floors, ~1/5 of the committed BENCH_perf.json
+#: numbers: loose enough for shared CI runners, tight enough that a
+#: 5x regression cannot slip through.  Only checked under PERF_FLOOR.
+FLOOR_OPS_PER_SEC = {
+    "kernel-churn": 200_000.0,
+    "sector-churn": 600_000.0,
+    "fig3-sparse": 3_000.0,
+    "tpcc-small": 130.0,
+}
 
 
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
@@ -56,6 +73,20 @@ def test_speedup_helper():
 def test_unknown_scenario_is_rejected():
     with pytest.raises(KeyError, match="unknown perf scenario"):
         run_scenario("no-such-scenario")
+
+
+@pytest.mark.skipif(not os.environ.get("PERF_FLOOR"),
+                    reason="absolute floors only checked when PERF_FLOOR "
+                           "is set (the CI perf-smoke job sets it)")
+@pytest.mark.parametrize("name", sorted(FLOOR_OPS_PER_SEC))
+def test_scenario_clears_absolute_floor(name):
+    """Full-scale run clears a generous ops/sec floor (CI only)."""
+    best = max((run_scenario(name) for _ in range(3)),
+               key=lambda result: result.ops_per_sec)
+    floor = FLOOR_OPS_PER_SEC[name]
+    assert best.ops_per_sec >= floor, (
+        f"{name}: {best.ops_per_sec:,.0f} ops/s is below the "
+        f"{floor:,.0f} ops/s floor — a >5x regression")
 
 
 def test_committed_reports_are_well_formed():
