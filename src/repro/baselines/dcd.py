@@ -23,9 +23,9 @@ benchmarks measure:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, List, Mapping, Optional, Tuple
 
-from repro.blockdev import BlockDevice
+from repro.blockdev import BlockDevice, DataTarget
 from repro.disk.controller import PRIORITY_READ, PRIORITY_WRITE
 from repro.disk.drive import DiskDrive
 from repro.errors import TrailError
@@ -60,7 +60,7 @@ class DcdDriver(BlockDevice):
         self,
         sim: Simulation,
         cache_disk: DiskDrive,
-        data_disks: Dict[int, DiskDrive],
+        data_disks: Mapping[int, DataTarget],
         nvram_bytes: int = 512 * 1024,
         nvram_write_us: float = 10.0,
         destage_idle_ms: float = 20.0,
@@ -71,7 +71,7 @@ class DcdDriver(BlockDevice):
             raise TrailError("NVRAM must be >= 4 KiB")
         self.sim = sim
         self.cache_disk = cache_disk
-        self.data_disks = dict(data_disks)
+        self.data_disks: Dict[int, DataTarget] = dict(data_disks)
         self.nvram_bytes = nvram_bytes
         self.nvram_write_ms = microseconds(nvram_write_us)
         self.destage_idle_ms = destage_idle_ms

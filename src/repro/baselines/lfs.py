@@ -20,11 +20,10 @@ qualitatively.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator, List, Mapping, Tuple
 
-from repro.blockdev import BlockDevice
+from repro.blockdev import BlockDevice, DataTarget
 from repro.disk.controller import PRIORITY_READ, PRIORITY_WRITE
-from repro.disk.drive import DiskDrive
 from repro.errors import TrailError
 from repro.sim import Event, LatencyRecorder, Resource, Simulation
 
@@ -59,7 +58,7 @@ class LfsDriver(BlockDevice):
     def __init__(
         self,
         sim: Simulation,
-        data_disks: Dict[int, DiskDrive],
+        data_disks: Mapping[int, DataTarget],
         segment_sectors: int = 512,
         clean_threshold: float = 0.25,
     ) -> None:
@@ -70,8 +69,8 @@ class LfsDriver(BlockDevice):
             raise TrailError(
                 f"segment must be >= 8 sectors, got {segment_sectors}")
         self.sim = sim
-        self.data_disks = dict(data_disks)
-        self._disk_id, self._disk = next(iter(data_disks.items()))
+        self.data_disks: Dict[int, DataTarget] = dict(data_disks)
+        self._disk_id, self._disk = next(iter(self.data_disks.items()))
         self.segment_sectors = segment_sectors
         self.clean_threshold = clean_threshold
         self.stats = LfsStats()

@@ -10,11 +10,10 @@ equal priority, like a plain disk driver.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator
+from typing import Dict, Generator, Mapping
 
-from repro.blockdev import BlockDevice
+from repro.blockdev import BlockDevice, DataTarget
 from repro.disk.controller import PRIORITY_READ
-from repro.disk.drive import DiskDrive
 from repro.errors import TrailError
 from repro.sim import Event, LatencyRecorder, Simulation
 
@@ -37,11 +36,12 @@ class StandardStats:
 class StandardDriver(BlockDevice):
     """In-place synchronous writes: the paper's comparison baseline."""
 
-    def __init__(self, sim: Simulation, data_disks: Dict[int, DiskDrive]) -> None:
+    def __init__(self, sim: Simulation,
+                 data_disks: Mapping[int, DataTarget]) -> None:
         if not data_disks:
             raise TrailError("StandardDriver needs at least one data disk")
         self.sim = sim
-        self.data_disks = dict(data_disks)
+        self.data_disks: Dict[int, DataTarget] = dict(data_disks)
         self.stats = StandardStats()
 
     @property
@@ -57,7 +57,7 @@ class StandardDriver(BlockDevice):
         return self.sim.process(self._write(disk, lba, data),
                                 name=f"std-write@{lba}")
 
-    def _write(self, disk: DiskDrive, lba: int, data: bytes) -> Generator:
+    def _write(self, disk: DataTarget, lba: int, data: bytes) -> Generator:
         start = self.sim.now
         yield disk.write(lba, data, priority=PRIORITY_READ)
         latency = self.sim.now - start
@@ -71,7 +71,7 @@ class StandardDriver(BlockDevice):
         return self.sim.process(self._read(disk, lba, nsectors),
                                 name=f"std-read@{lba}")
 
-    def _read(self, disk: DiskDrive, lba: int, nsectors: int) -> Generator:
+    def _read(self, disk: DataTarget, lba: int, nsectors: int) -> Generator:
         result = yield disk.read(lba, nsectors, priority=PRIORITY_READ)
         return result.data
 
@@ -80,7 +80,7 @@ class StandardDriver(BlockDevice):
         return
         yield  # pragma: no cover - makes this a generator
 
-    def _disk(self, disk_id: int) -> DiskDrive:
+    def _disk(self, disk_id: int) -> DataTarget:
         disk = self.data_disks.get(disk_id)
         if disk is None:
             raise TrailError(f"unknown data disk id {disk_id}")

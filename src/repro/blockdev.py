@@ -11,10 +11,40 @@ contract and run unchanged on :class:`~repro.core.driver.TrailDriver`,
 from __future__ import annotations
 
 import abc
-from typing import Dict
+from typing import Dict, Protocol
 
-from repro.disk.drive import DiskDrive
-from repro.sim import Event, ProcessGenerator, Simulation
+from repro.disk.geometry import DiskGeometry
+from repro.sim import Event, Process, ProcessGenerator, Simulation
+from repro.units import Lba, Sectors
+
+
+class DataTarget(Protocol):
+    """Structural contract for what a driver fronts as a "data disk".
+
+    Satisfied by a raw :class:`~repro.disk.drive.DiskDrive` and by a
+    :class:`~repro.raid.array.Raid5Array` (which aggregates several
+    drives behind one flat LBA space), so every driver in this
+    repository can front either without knowing which it got.  The
+    surface is exactly what the Trail stack touches: addressed
+    read/write commands returning simulation processes, extent
+    validation via :attr:`geometry`, bad-sector relocation for the
+    write-back retry path, and power control for crash injection.
+    """
+
+    name: str
+    geometry: DiskGeometry
+
+    def read(self, lba: Lba, nsectors: Sectors,
+             priority: int = ...) -> Process: ...
+
+    def write(self, lba: Lba, data: bytes,
+              priority: int = ...) -> Process: ...
+
+    def relocate(self, lba: Lba, nsectors: Sectors) -> Sectors: ...
+
+    def halt(self) -> None: ...
+
+    def power_on(self) -> None: ...
 
 
 class BlockDevice(abc.ABC):
@@ -35,7 +65,7 @@ class BlockDevice(abc.ABC):
     """
 
     sim: Simulation
-    data_disks: Dict[int, DiskDrive]
+    data_disks: Dict[int, DataTarget]
 
     @abc.abstractmethod
     def write(self, lba: int, data: bytes, disk_id: int = 0) -> Event:

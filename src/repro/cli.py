@@ -6,6 +6,7 @@
     python -m repro trace    [--duration 2000] [--rate 100] [--device trail]
     python -m repro profile  <scenario> [--scale 1.0] [--top 20]
     python -m repro faults   <scenario> [--seed 0]
+    python -m repro raid-rebuild [--seed 0] [--smoke] [--intensities 4,2,1]
 
 Every command builds the paper's simulated testbed, runs the
 experiment, and prints a table.  ``profile`` runs one of the canonical
@@ -222,6 +223,70 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_raid_rebuild(args: argparse.Namespace) -> int:
+    """Kill a RAID member under load; report rebuild time and latency."""
+    # Imported lazily: the scenario pulls in the whole Trail stack.
+    from dataclasses import replace
+
+    from repro.raid.scenario import RaidRebuildConfig, run_raid_rebuild
+
+    base = (RaidRebuildConfig.smoke(seed=args.seed) if args.smoke
+            else RaidRebuildConfig(seed=args.seed))
+    if args.intensities:
+        try:
+            intensities = [float(value) for value
+                           in args.intensities.split(",")]
+        except ValueError:
+            raise SystemExit(
+                f"bad --intensities value {args.intensities!r}")
+    else:
+        intensities = [base.interarrival_ms]
+    all_ok = True
+    summary = []
+    for interarrival in intensities:
+        result = run_raid_rebuild(
+            replace(base, interarrival_ms=interarrival))
+        all_ok = all_ok and result.ok
+        degraded = next(
+            (row for row in result.phase_rows if row[0] == "degraded"),
+            None)
+        summary.append([
+            f"{interarrival:g}",
+            f"{result.rebuild_ms:.0f}",
+            f"{result.stripes_rebuilt}/{result.stripes_total}",
+            "-" if degraded is None else f"{degraded[2]:.2f}",
+            "-" if degraded is None else f"{degraded[3]:.2f}",
+            str(result.foreground_errors),
+            "yes" if result.ok else "NO",
+        ])
+        print(f"interarrival {interarrival:g} ms "
+              f"(seed {base.seed}): rebuild "
+              f"{result.rebuild_status} in {result.rebuild_ms:.0f} ms, "
+              f"{result.writes_acked} writes / {result.reads_served} "
+              f"reads, {result.rebuild_deferrals} write-backs deferred, "
+              f"amplification {result.amplification:.2f}")
+        print(render_table(
+            ["phase", "ops", "p50 (ms)", "p99 (ms)", "mean (ms)"],
+            [[phase, str(count), f"{p50:.2f}", f"{p99:.2f}",
+              f"{mean:.2f}"]
+             for phase, count, p50, p99, mean in result.phase_rows],
+            title="foreground latency by phase"))
+        print(f"audit: {result.verified_sectors} sectors verified, "
+              f"{result.mismatched_sectors} mismatched, parity "
+              f"{'clean' if result.parity_clean else 'BROKEN'}, "
+              f"{result.lost_sectors} sectors lost  "
+              f"[fingerprint {result.fingerprint}]")
+        for note in result.notes:
+            print(f"  - {note}")
+        print()
+    if len(intensities) > 1:
+        print(render_table(
+            ["interarrival (ms)", "rebuild (ms)", "stripes",
+             "degraded p50", "degraded p99", "errors", "ok"],
+            summary, title="rebuild vs traffic intensity"))
+    return 0 if all_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -280,6 +345,17 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--seed", type=int, default=0,
                         help="fault-plan seed (same seed, same faults)")
     faults.set_defaults(func=cmd_faults)
+
+    raid = sub.add_parser("raid-rebuild", help=cmd_raid_rebuild.__doc__)
+    raid.add_argument("--seed", type=int, default=0,
+                      help="workload/fault seed (same seed, same run)")
+    raid.add_argument("--smoke", action="store_true",
+                      help="small fast variant for CI")
+    raid.add_argument("--intensities", default="",
+                      help="comma-separated mean interarrival times in "
+                           "ms; runs the experiment once per value "
+                           "(e.g. 4,2,1)")
+    raid.set_defaults(func=cmd_raid_rebuild)
     return parser
 
 

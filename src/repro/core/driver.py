@@ -18,9 +18,10 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Generator, List, Optional, Tuple
+from typing import (
+    Any, Deque, Dict, Generator, List, Mapping, Optional, Tuple)
 
-from repro.blockdev import BlockDevice
+from repro.blockdev import BlockDevice, DataTarget
 from repro.core.allocator import TrackAllocator
 from repro.core.buffer import BufferManager, LiveRecord
 from repro.core.config import TrailConfig
@@ -131,14 +132,14 @@ class TrailDriver(BlockDevice):
         self,
         sim: Simulation,
         log_drive: DiskDrive,
-        data_disks: Dict[int, DiskDrive],
+        data_disks: Mapping[int, DataTarget],
         config: Optional[TrailConfig] = None,
     ) -> None:
         if not data_disks:
             raise TrailError("Trail needs at least one data disk")
         self.sim = sim
         self.log_drive = log_drive
-        self.data_disks = dict(data_disks)
+        self.data_disks: Dict[int, DataTarget] = dict(data_disks)
         self.config = config or TrailConfig()
         self.stats = TrailStats()
 
@@ -311,6 +312,48 @@ class TrailDriver(BlockDevice):
         """Sector size of the managed disks."""
         return self.log_drive.geometry.sector_size
 
+    def device_health(self) -> Dict[int, Dict[str, object]]:
+        """Per-data-disk health snapshot, RAID-aware when applicable.
+
+        For a plain :class:`DiskDrive` the entry reports power and
+        whole-drive-death state.  When the target is a RAID array the
+        entry additionally surfaces degraded-mode serving (which member
+        failed, degraded read/write counts, member I/O amplification)
+        and — while a rebuild is running — its status, progress, and
+        any sectors lost to unreadable survivor extents.  Everything is
+        probed structurally so the driver stays ignorant of the
+        concrete target type.
+        """
+        health: Dict[int, Dict[str, object]] = {}
+        for disk_id in sorted(self.data_disks):
+            disk = self.data_disks[disk_id]
+            entry: Dict[str, object] = {
+                "name": disk.name,
+                "halted": bool(getattr(disk, "halted", False)),
+                "dead": bool(getattr(disk, "dead", False)),
+            }
+            stats = getattr(disk, "stats", None)
+            degraded_reads = getattr(stats, "degraded_reads", None)
+            if degraded_reads is not None:  # RAID-fronted target
+                entry["degraded"] = (
+                    getattr(disk, "failed_drive", None) is not None)
+                entry["array_failed"] = bool(
+                    getattr(disk, "array_failed", False))
+                entry["degraded_reads"] = degraded_reads
+                entry["degraded_writes"] = getattr(
+                    stats, "degraded_writes", 0)
+                entry["member_ios"] = getattr(stats, "member_ios", 0)
+                entry["amplification"] = getattr(
+                    stats, "amplification", 0.0)
+                engine = getattr(disk, "rebuild", None)
+                if engine is not None:
+                    entry["rebuild_status"] = engine.status
+                    entry["rebuild_progress"] = engine.progress
+                    entry["rebuild_stripes"] = engine.stripes_rebuilt
+                    entry["rebuild_lost_sectors"] = len(engine.lost_sectors)
+            health[disk_id] = entry
+        return health
+
     def write(self, lba: int, data: bytes, disk_id: int = 0) -> Event:
         # unit: (lba: data_lba)
         """Synchronous write: the event fires once the data is durable.
@@ -353,7 +396,7 @@ class TrailDriver(BlockDevice):
             self._read_through(disk, disk_id, lba, nsectors),
             name=f"trail-read@{lba}")
 
-    def _read_through(self, disk: DiskDrive, disk_id: int,
+    def _read_through(self, disk: DataTarget, disk_id: int,
                       lba: int, nsectors: int) -> Generator[Event, Any, bytes]:
         result = yield disk.read(lba, nsectors, priority=PRIORITY_READ)
         data = bytearray(result.data)
@@ -885,7 +928,7 @@ class TrailDriver(BlockDevice):
 
     # ------------------------------------------------------------------
 
-    def _data_disk(self, disk_id: int) -> DiskDrive:
+    def _data_disk(self, disk_id: int) -> DataTarget:
         disk = self.data_disks.get(disk_id)
         if disk is None:
             raise TrailError(f"unknown data disk id {disk_id}")

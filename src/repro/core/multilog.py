@@ -21,9 +21,9 @@ distinct pages hash to different stripes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Mapping, Optional, Sequence
 
-from repro.blockdev import BlockDevice
+from repro.blockdev import BlockDevice, DataTarget
 from repro.core.config import TrailConfig
 from repro.core.driver import TrailDriver
 from repro.core.recovery import RecoveryReport
@@ -40,13 +40,13 @@ class StripedTrailDriver(BlockDevice):
         self,
         sim: Simulation,
         log_drives: Sequence[DiskDrive],
-        data_disks: Dict[int, DiskDrive],
+        data_disks: Mapping[int, DataTarget],
         config: Optional[TrailConfig] = None,
     ) -> None:
         if not log_drives:
             raise TrailError("need at least one log disk")
         self.sim = sim
-        self.data_disks = dict(data_disks)  # trailsan: atomic_group(stripe-set)
+        self.data_disks: Dict[int, DataTarget] = dict(data_disks)  # trailsan: atomic_group(stripe-set)
         self.config = config or TrailConfig()
         self.stripes: List[TrailDriver] = [  # trailsan: atomic_group(stripe-set)
             TrailDriver(sim, log_drive, data_disks, self.config)

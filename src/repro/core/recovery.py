@@ -35,8 +35,10 @@ unreadable or corrupt) is therefore always visible to the caller.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
+from typing import (
+    Any, Dict, Generator, List, Mapping, Optional, Sequence, Tuple)
 
+from repro.blockdev import DataTarget
 from repro.core.config import TrailConfig
 from repro.core.format import (
     RecordHeader, NULL_LBA, decode_record_header, payload_crc32,
@@ -116,7 +118,7 @@ class RecoveryManager:
         geometry: DiskGeometry,
         usable_tracks: Sequence[int],
         epoch: int,
-        data_disks: Dict[int, DiskDrive],
+        data_disks: Mapping[int, DataTarget],
         config: Optional[TrailConfig] = None,
     ) -> None:
         self.sim = sim

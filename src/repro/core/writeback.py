@@ -18,11 +18,11 @@ or wedging the drain loop.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Mapping, Optional, Tuple
 
+from repro.blockdev import DataTarget
 from repro.core.buffer import BufferManager, PageKey, PendingPage
 from repro.disk.controller import PRIORITY_READ, PRIORITY_WRITE
-from repro.disk.drive import DiskDrive
 from repro.errors import DiskHaltedError, MediaError, TrailError
 from repro.sim import Event, Interrupt, Process, Simulation, Store
 from repro.units import Ms
@@ -34,7 +34,7 @@ class WritebackScheduler:
     def __init__(
         self,
         sim: Simulation,
-        data_disks: Dict[int, DiskDrive],
+        data_disks: Mapping[int, DataTarget],
         buffers: BufferManager,
         reads_preempt_writebacks: bool = True,
         retry_limit: int = 4,
@@ -56,6 +56,12 @@ class WritebackScheduler:
         self.write_retries = 0
         #: Pages whose targets were relocated to spare sectors.
         self.pages_relocated = 0
+        #: Write-backs paused before issue because the target
+        #: advertised a ``writeback_defer_ms`` hint (duck-typed; a RAID
+        #: array does so only while its rebuild is actively running).
+        #: The page stays pinned and the log copy stays live for the
+        #: paused interval, so nothing is lost by waiting.
+        self.rebuild_deferrals = 0
         #: Pages parked after retries and relocation both failed; the
         #: staging-buffer copy remains authoritative for reads.
         self.failed_pages: Dict[PageKey, PendingPage] = {}
@@ -141,6 +147,17 @@ class WritebackScheduler:
                 if disk is None:
                     raise TrailError(
                         f"no data disk with id {page.disk_id}")
+                # Rebuild contention: a reconstructing array asks each
+                # write-back to pause before issuing, so survivor
+                # bandwidth leans toward the copier.  One bounded pause
+                # per page — never a wait-until-rebuilt loop — because
+                # write-back is also what reclaims log space; stalling
+                # it outright would fill the log and stall the
+                # foreground writes the log is meant to absorb.
+                defer = float(getattr(disk, "writeback_defer_ms", 0.0))
+                if defer > 0:
+                    self.rebuild_deferrals += 1
+                    yield self.sim.timeout(defer)
                 try:
                     written = yield from self._write_with_retries(
                         disk, page, data)
@@ -166,7 +183,7 @@ class WritebackScheduler:
         except Interrupt:
             return
 
-    def _write_with_retries(self, disk: DiskDrive, page: PendingPage,
+    def _write_with_retries(self, disk: DataTarget, page: PendingPage,
                             data: bytes) -> Generator[Event, Any, bool]:
         """One write-back with bounded backoff retries and relocation.
 

@@ -28,6 +28,10 @@ class Op(enum.Enum):
 PRIORITY_READ = 0
 #: Queue priority for background commands (data-disk write-backs).
 PRIORITY_WRITE = 1
+#: Queue priority for RAID rebuild traffic: yields to both foreground
+#: reads and write-backs so reconstruction never steals a survivor
+#: drive from a latency-critical command.
+PRIORITY_REBUILD = 2
 
 
 @dataclass(slots=True)
@@ -79,6 +83,9 @@ class DriveStats:
     transfer_ms: float = 0.0
     overhead_ms: float = 0.0
     halted_commands: int = 0
+    #: Commands aborted because the whole drive failed (see
+    #: :meth:`~repro.disk.drive.DiskDrive.fail`).
+    dead_commands: int = 0
     #: Soft (transient) per-sector failures encountered and retried.
     transient_errors: int = 0
     #: Extra revolutions spent re-attempting failed sectors.

@@ -36,7 +36,8 @@ import math
 from typing import (
     Any, Generator, List, Optional, Set, Tuple, TYPE_CHECKING, Union)
 
-from repro.errors import DiskHaltedError, UnrecoverableSectorError
+from repro.errors import (
+    DiskHaltedError, DriveFailedError, UnrecoverableSectorError)
 from repro.disk.controller import (
     DriveStats, IoResult, Op, PRIORITY_READ, _Segment)
 from repro.disk.geometry import DiskGeometry
@@ -64,6 +65,7 @@ class DiskDrive:
         store: Optional[SectorStore] = None,
         name: str = "disk",
         scheduling: str = "priority",
+        starvation_ms: Optional[Ms] = None,
     ) -> None:
         self.sim = sim
         self.geometry = geometry
@@ -82,7 +84,8 @@ class DiskDrive:
         elif scheduling == "elevator":
             from repro.disk.scheduler import ElevatorResource
             self._elevator = ElevatorResource(
-                sim, head_cylinder=lambda: self._position_cylinder)
+                sim, head_cylinder=lambda: self._position_cylinder,
+                starvation_ms=starvation_ms)
             self._queue = self._elevator
         else:
             raise ValueError(
@@ -90,6 +93,7 @@ class DiskDrive:
         self._position_cylinder = 0
         self._position_head = 0
         self._halted = False
+        self._dead = False
         self._outstanding: Set[Process] = set()
         #: Media-fault injector; None means the drive is perfect and
         #: the service loop takes the original zero-overhead path.
@@ -193,8 +197,49 @@ class DiskDrive:
                 process.interrupt("power failure")
 
     def power_on(self) -> None:
-        """Restore power after :meth:`halt`; the platter state persists."""
+        """Restore power after :meth:`halt`; the platter state persists.
+
+        A drive that :meth:`fail`-ed stays dead through a power cycle:
+        power is not what it lost.
+        """
         self._halted = False
+
+    # ------------------------------------------------------------------
+    # Whole-drive failure
+
+    @property
+    def dead(self) -> bool:
+        """True while the whole drive has failed (see :meth:`fail`)."""
+        return self._dead
+
+    def fail(self) -> None:
+        """Kill the whole drive: every in-flight and future command fails.
+
+        Models drive-level death (electronics, spindle, firmware):
+        commands in flight abort with
+        :class:`~repro.errors.DriveFailedError` and every new command
+        fails the same way until :meth:`revive`.  Whole sectors already
+        transferred before the failure persist on the platter — they
+        are just unreachable while the drive is dead.  Unlike
+        :meth:`halt`, :meth:`power_on` does not help; only
+        :meth:`revive` (a flapping drive's up-edge) does.
+        """
+        if self._dead:
+            return
+        self._dead = True
+        for process in list(self._outstanding):
+            if process.is_alive:
+                process.interrupt("drive failure")
+
+    def revive(self) -> None:
+        """Bring a failed drive back — a flapping drive's up-edge.
+
+        The platter holds whatever it held at failure time; every write
+        issued while the drive was dead never happened.  Array layers
+        must therefore treat a revived member as *stale* and rebuild it
+        before trusting its contents.
+        """
+        self._dead = False
 
     # ------------------------------------------------------------------
     # Introspection used by tests and benchmarks (not by Trail itself —
@@ -237,6 +282,11 @@ class DiskDrive:
                 yield request
             except Interrupt:
                 self._queue.cancel(request)
+                if self._dead:
+                    self.stats.dead_commands += 1
+                    raise DriveFailedError(
+                        f"{self.name}: drive failed while "
+                        f"{op.value}@{lba} was queued", lba=lba)
                 self.stats.halted_commands += 1
                 raise DiskHaltedError(
                     f"{self.name}: power lost while {op.value}@{lba} "
@@ -247,6 +297,10 @@ class DiskDrive:
         rotation_total = 0.0
         transfer_total = 0.0
         try:
+            if self._dead:
+                self.stats.dead_commands += 1
+                raise DriveFailedError(
+                    f"{self.name}: drive is dead", lba=lba)
             if self._halted:
                 raise DiskHaltedError(
                     f"{self.name}: drive is powered off")
@@ -310,6 +364,12 @@ class DiskDrive:
                                 segment.first_lba,
                                 data[offset:offset
                                      + completed * sector_size])
+                        if self._dead:
+                            self.stats.dead_commands += 1
+                            raise DriveFailedError(
+                                f"{self.name}: drive failed after "
+                                f"{completed}/{segment.nsectors} sectors "
+                                f"of {op.value}@{lba}", lba=lba)
                         raise DiskHaltedError(
                             f"{self.name}: power lost after {completed}/"
                             f"{segment.nsectors} sectors of "
@@ -343,7 +403,13 @@ class DiskDrive:
             self.stats.record(result)
             return result
         except Interrupt:
-            # Power failed outside a transfer (overhead/seek/rotation).
+            # Interrupted outside a transfer (overhead/seek/rotation):
+            # either power failed or the whole drive died.
+            if self._dead:
+                self.stats.dead_commands += 1
+                raise DriveFailedError(
+                    f"{self.name}: drive failed during {op.value}@{lba}",
+                    lba=lba)
             self.stats.halted_commands += 1
             raise DiskHaltedError(
                 f"{self.name}: power lost during {op.value}@{lba}")
@@ -400,6 +466,12 @@ class DiskDrive:
                         segment.first_lba,
                         data[offset:offset
                              + completed * self.geometry.sector_size])
+                if self._dead:
+                    self.stats.dead_commands += 1
+                    raise DriveFailedError(
+                        f"{self.name}: drive failed after {completed}/"
+                        f"{segment.nsectors} sectors of {op.value}@{lba}",
+                        lba=lba)
                 raise DiskHaltedError(
                     f"{self.name}: power lost after {completed}/"
                     f"{segment.nsectors} sectors of {op.value}@{lba}")

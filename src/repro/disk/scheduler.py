@@ -14,10 +14,10 @@ it because its log-disk writes never seek.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.sim import Request, Resource, Simulation
-from repro.units import Cylinders
+from repro.units import Cylinders, Ms
 
 
 class ElevatorResource(Resource):
@@ -28,12 +28,23 @@ class ElevatorResource(Resource):
     :meth:`request_at`.  Priorities still dominate: all priority-0
     waiters are served (in elevator order) before any priority-1
     waiter.
+
+    ``starvation_ms`` is an optional aging knob for background
+    classes: a waiter older than this is promoted to the best priority
+    class so low-priority traffic (RAID rebuild at
+    ``PRIORITY_REBUILD``) cannot be starved forever by a saturating
+    foreground stream — the bounded-starvation idea from the
+    bad-sector-scheduling literature.  ``None`` (the default) keeps
+    the strict priority-first discipline and is event-identical to the
+    pre-knob scheduler.
     """
 
     def __init__(self, sim: Simulation,
-                 head_cylinder: Callable[[], int]) -> None:
+                 head_cylinder: Callable[[], int],
+                 starvation_ms: Optional[Ms] = None) -> None:
         super().__init__(sim, capacity=1)
         self._head_cylinder = head_cylinder
+        self._starvation_ms = starvation_ms
         self._waiting: List[Request] = []
 
     def request_at(self, cylinder: Cylinders, priority: int = 0) -> Request:
@@ -64,10 +75,20 @@ class ElevatorResource(Resource):
         except ValueError:
             return False
 
+    def _effective_priority(self, request: Request) -> int:
+        """Request priority after starvation aging (if enabled)."""
+        if (self._starvation_ms is not None
+                and self.sim.now - request.enqueued_at
+                >= self._starvation_ms):
+            return 0
+        return request.priority
+
     def _pop_next(self) -> Request:
-        best_priority = min(request.priority for request in self._waiting)
+        best_priority = min(self._effective_priority(request)
+                            for request in self._waiting)
         candidates = [request for request in self._waiting
-                      if request.priority == best_priority]
+                      if self._effective_priority(request)
+                      == best_priority]
         head = self._head_cylinder()
         ahead = [request for request in candidates
                  if request.cylinder >= head]

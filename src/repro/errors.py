@@ -96,6 +96,31 @@ class CorruptDataError(MediaError):
     """
 
 
+class DriveFailedError(MediaError):
+    """The whole drive died; every command to it fails.
+
+    Unlike :class:`DiskHaltedError` (power loss — temporary, contents
+    persist and the host retries after power returns), a failed drive
+    is *gone* as far as the array layer is concerned: commands in
+    flight error, new commands error, and the only remedies are a
+    RAID-level rebuild onto a spare or (for a flapping drive that
+    :meth:`~repro.disk.drive.DiskDrive.revive`\\ s) treating it as a
+    fresh, stale member.  A ``MediaError`` subclass so every hardened
+    retry/degrade path treats drive death like any other unrecoverable
+    media fault.
+    """
+
+
+class RaidFailedError(DiskError):
+    """The array lost more members than its redundancy covers.
+
+    RAID-5 survives exactly one failed member; a second distinct
+    failure (e.g. during rebuild) means data in the doubly-failed
+    stripes is unrecoverable.  The array fails loudly on subsequent
+    I/O instead of serving reconstructed garbage.
+    """
+
+
 class DiskHaltedError(DiskError):
     """The drive lost power while this command was in flight.
 

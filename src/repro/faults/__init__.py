@@ -16,15 +16,23 @@ as a seeded, reproducible schedule that can be attached to any
   the same plan on the same workload produces bit-identical fault
   sequences — and a drive with no injector attached takes a zero-cost
   fast path that cannot perturb existing simulations.
+* :mod:`repro.faults.drives` — drive-*level* faults (whole-drive
+  death, intermittent flapping) executed by a background simulation
+  process, since a drive can die while idle.  The edge schedule is a
+  pure function of the plan, so determinism holds with no randomness
+  at all.
 * :mod:`repro.faults.scenarios` — canonical named scenarios for the
   CLI demo (``python -m repro faults <scenario>``).  Imported lazily
   (it pulls in the whole Trail stack, which itself imports this
   package).
 """
 
+from repro.faults.drives import drive_fault_schedule, start_drive_faults
 from repro.faults.plan import FaultInjector, FaultPlan
 
 __all__ = [
     "FaultInjector",
     "FaultPlan",
+    "drive_fault_schedule",
+    "start_drive_faults",
 ]

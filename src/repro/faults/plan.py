@@ -69,6 +69,30 @@ class FaultPlan:
     #: targets.  Reads cannot be remapped.
     spare_sectors: int = 64
 
+    # -- drive-level faults (whole-drive death, not per-sector) --------
+
+    #: Simulated time (ms) at which the whole drive dies cleanly and
+    #: permanently (:meth:`~repro.disk.drive.DiskDrive.fail`); ``None``
+    #: means the drive never dies.  RAID-level recovery — not a drive
+    #: retry — is the only remedy.
+    death_at_ms: Optional[float] = None
+
+    #: Simulated time (ms) at which an intermittent (flapping) drive
+    #: starts bouncing: ``flap_cycles`` repetitions of dead for
+    #: ``flap_down_ms`` then alive for ``flap_up_ms``.  ``None``
+    #: disables flapping.
+    flap_at_ms: Optional[float] = None
+
+    #: How long each flap's dead phase lasts.
+    flap_down_ms: float = 25.0
+
+    #: How long the drive stays up between flaps.
+    flap_up_ms: float = 100.0
+
+    #: Number of down/up flap cycles (0 = no flapping even when
+    #: ``flap_at_ms`` is set).
+    flap_cycles: int = 0
+
     def __post_init__(self) -> None:
         for name in ("transient_read_error_prob",
                      "transient_write_error_prob", "grown_defect_prob",
@@ -82,6 +106,19 @@ class FaultPlan:
             raise ValueError("retry_limit must be >= 0")
         if self.spare_sectors < 0:
             raise ValueError("spare_sectors must be >= 0")
+        if self.death_at_ms is not None and self.death_at_ms < 0:
+            raise ValueError("death_at_ms must be >= 0")
+        if self.flap_at_ms is not None and self.flap_at_ms < 0:
+            raise ValueError("flap_at_ms must be >= 0")
+        if self.flap_down_ms <= 0:
+            raise ValueError("flap_down_ms must be > 0")
+        if self.flap_up_ms <= 0:
+            raise ValueError("flap_up_ms must be > 0")
+        if self.flap_cycles < 0:
+            raise ValueError("flap_cycles must be >= 0")
+        if self.flap_cycles > 0 and self.flap_at_ms is None:
+            raise ValueError(
+                "flap_cycles > 0 requires flap_at_ms to be set")
         object.__setattr__(
             self, "latent_bad_sectors",
             frozenset(self.latent_bad_sectors))

@@ -1,5 +1,22 @@
-"""RAID-5 substrate for the paper's small-write future-work item."""
+"""Fault-survivable RAID-5 substrate for the paper's future-work item.
+
+* :mod:`repro.raid.array` — the left-symmetric striping core with
+  degraded-mode serving, hot spares, and automatic whole-drive-death
+  detection.
+* :mod:`repro.raid.rebuild` — the online rebuild engine reconstructing
+  a dead member onto a spare while foreground I/O keeps flowing.
+* :mod:`repro.raid.scenario` — the ``repro raid-rebuild`` CLI
+  experiment (imported lazily by the CLI; it pulls in the whole Trail
+  stack).
+"""
 
 from repro.raid.array import Raid5Array, RaidResult, RaidStats
+from repro.raid.rebuild import RebuildConfig, RebuildEngine
 
-__all__ = ["Raid5Array", "RaidResult", "RaidStats"]
+__all__ = [
+    "Raid5Array",
+    "RaidResult",
+    "RaidStats",
+    "RebuildConfig",
+    "RebuildEngine",
+]

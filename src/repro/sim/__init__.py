@@ -12,7 +12,8 @@ from repro.sim.perturb import PerturbedSimulation
 from repro.sim.process import Interrupt, Process, ProcessGenerator
 from repro.sim.resources import PriorityResource, Request, Resource, Store
 from repro.sim.sanitizer import TrailSanitizer, sanitizer_from_env
-from repro.sim.monitor import CounterSet, LatencyRecorder, UtilizationTracker
+from repro.sim.monitor import (
+    CounterSet, LatencyRecorder, PhasedLatencyRecorder, UtilizationTracker)
 
 __all__ = [
     "Condition",
@@ -21,6 +22,7 @@ __all__ = [
     "Interrupt",
     "LatencyRecorder",
     "PerturbedSimulation",
+    "PhasedLatencyRecorder",
     "PriorityResource",
     "Process",
     "ProcessGenerator",

@@ -112,6 +112,56 @@ class LatencyRecorder:
                 f"min={self.minimum:.3f} max={self.maximum:.3f}>")
 
 
+class PhasedLatencyRecorder:
+    """Latency samples bucketed by a mutable experiment-phase label.
+
+    The RAID rebuild scenario flips the phase from ``healthy`` to
+    ``degraded`` at the instant it kills a drive, and to ``rebuilt``
+    once the spare holds a full copy; every sample lands in the bucket
+    active at record time.  That yields per-phase p50/p99 without
+    tagging individual samples, and the phase sequence doubles as the
+    experiment's timeline.
+    """
+
+    def __init__(self, initial_phase: str = "healthy") -> None:
+        self._phase = initial_phase
+        self._recorders: Dict[str, LatencyRecorder] = {}
+
+    @property
+    def phase(self) -> str:
+        """The label new samples are currently recorded under."""
+        return self._phase
+
+    def set_phase(self, phase: str) -> None:
+        """Route subsequent samples to ``phase``'s bucket."""
+        self._phase = phase
+
+    def record(self, value: float) -> None:
+        """Add one sample to the current phase's bucket."""
+        self.recorder(self._phase).record(value)
+
+    def recorder(self, phase: str) -> LatencyRecorder:
+        """The (created-on-demand) recorder for ``phase``."""
+        recorder = self._recorders.get(phase)
+        if recorder is None:
+            recorder = LatencyRecorder(keep_samples=True)
+            self._recorders[phase] = recorder
+        return recorder
+
+    @property
+    def phases(self) -> List[str]:
+        """Phases that received at least one sample, in first-use order."""
+        return [phase for phase, recorder in self._recorders.items()
+                if recorder.count > 0]
+
+    def overall(self) -> LatencyRecorder:
+        """All phases merged into one recorder."""
+        merged = LatencyRecorder(keep_samples=True)
+        for recorder in self._recorders.values():
+            merged.merge(recorder)
+        return merged
+
+
 class CounterSet:
     """A named bag of monotonically increasing counters."""
 

@@ -1,0 +1,124 @@
+"""Whole-drive death: ``fail()`` / ``revive()`` semantics (ISSUE 7).
+
+Per-sector media faults are covered in ``test_drive_faults.py``; these
+tests pin the drive-*level* failure mode the RAID layer builds on —
+every command fails loudly while dead, the platter survives, and only
+``revive()`` (not a power cycle) brings the unit back.
+"""
+
+import pytest
+
+from repro.errors import DriveFailedError
+from repro.sim import Simulation
+from tests.conftest import drive_to_completion, make_tiny_drive
+
+SECTOR = 512
+
+
+def run(sim: Simulation, generator):
+    return drive_to_completion(sim, generator)
+
+
+class TestFail:
+    def test_new_commands_fail_loudly_while_dead(self, sim):
+        drive = make_tiny_drive(sim)
+        drive.fail()
+
+        def body():
+            with pytest.raises(DriveFailedError):
+                yield drive.read(0, 1)
+            with pytest.raises(DriveFailedError):
+                yield drive.write(0, b"x" * SECTOR)
+        run(sim, body())
+        assert drive.dead
+        assert drive.stats.dead_commands == 2
+
+    def test_inflight_commands_are_interrupted(self, sim):
+        drive = make_tiny_drive(sim)
+        outcome = {}
+
+        def victim():
+            try:
+                yield drive.read(0, 8)
+            except DriveFailedError:
+                outcome["failed_at"] = sim.now
+
+        def killer():
+            yield sim.timeout(0.5)  # the read is mid-seek by now
+            drive.fail()
+        victim_process = sim.process(victim())
+        run(sim, killer())
+        sim.run_until(victim_process)
+        assert outcome["failed_at"] == pytest.approx(0.5)
+        assert drive.stats.dead_commands >= 1
+
+    def test_fail_is_idempotent(self, sim):
+        drive = make_tiny_drive(sim)
+        drive.fail()
+        drive.fail()
+        assert drive.dead
+
+    def test_platter_survives_death(self, sim):
+        drive = make_tiny_drive(sim)
+        payload = b"\xa5" * SECTOR
+
+        def body():
+            yield drive.write(7, payload)
+        run(sim, body())
+        drive.fail()
+        # The bytes are unreachable while dead, but not gone.
+        assert drive.store.read_sector(7) == payload
+
+
+class TestRevive:
+    def test_revive_restores_service_and_old_bytes(self, sim):
+        drive = make_tiny_drive(sim)
+        payload = b"\x5a" * SECTOR
+
+        def write_then_die():
+            yield drive.write(3, payload)
+            drive.fail()
+        run(sim, write_then_die())
+        drive.revive()
+        assert not drive.dead
+
+        def read_back():
+            result = yield drive.read(3, 1)
+            return bytes(result.data[:SECTOR])
+        assert run(sim, read_back()) == payload
+
+    def test_writes_issued_while_dead_never_happened(self, sim):
+        drive = make_tiny_drive(sim)
+        drive.fail()
+
+        def doomed():
+            with pytest.raises(DriveFailedError):
+                yield drive.write(5, b"\xff" * SECTOR)
+        run(sim, doomed())
+        drive.revive()
+        assert drive.store.read_sector(5) == bytes(SECTOR)  # unwritten
+
+
+class TestDeathVsPowerCycle:
+    def test_power_cycle_does_not_resurrect(self, sim):
+        drive = make_tiny_drive(sim)
+        drive.fail()
+        drive.halt()
+        drive.power_on()
+        assert drive.dead
+
+        def body():
+            with pytest.raises(DriveFailedError):
+                yield drive.read(0, 1)
+        run(sim, body())
+
+    def test_dead_drive_can_still_be_halted(self, sim):
+        # A fault storm may power-fail a drive that already died;
+        # neither transition may mask the other.
+        drive = make_tiny_drive(sim)
+        drive.fail()
+        drive.halt()
+        assert drive.dead and drive.halted
+        drive.power_on()
+        drive.revive()
+        assert not drive.dead and not drive.halted

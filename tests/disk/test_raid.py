@@ -115,6 +115,12 @@ class TestDegradedMode:
         assert array.stats.degraded_reads > 0
 
     def test_second_failure_rejected(self, sim):
+        # ``fail_drive`` is the *administrative* path and refuses a
+        # second failure up front.  A second member dying for real
+        # (``DiskDrive.fail``) instead fails the array lazily when I/O
+        # observes it — see ``tests/raid/test_rebuild.py::
+        # TestFaultStorms::test_second_survivor_death_fails_array_loudly``
+        # for those semantics (array_failed + RaidFailedError).
         array, _drives = make_array(sim)
         array.fail_drive(0)
         with pytest.raises(DiskError):

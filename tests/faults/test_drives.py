@@ -1,0 +1,144 @@
+"""Drive-level fault scheduling: the pure oracle and its executor.
+
+:func:`repro.faults.drive_fault_schedule` is a pure function of the
+plan — these tests pin its edge algebra (flap cycles, death
+truncation) and then check that :func:`repro.faults.start_drive_faults`
+executes exactly that schedule against a live drive (ISSUE 7).
+"""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan, drive_fault_schedule, start_drive_faults)
+from repro.sim import Simulation
+from tests.conftest import drive_to_completion, make_tiny_drive
+
+
+class TestScheduleOracle:
+    def test_plain_plan_has_no_edges(self):
+        assert drive_fault_schedule(FaultPlan(seed=1)) == []
+        assert drive_fault_schedule(FaultPlan(
+            seed=1, latent_bad_sectors=frozenset({3}))) == []
+
+    def test_clean_death_is_one_edge(self):
+        assert drive_fault_schedule(
+            FaultPlan(seed=1, death_at_ms=40.0)) == [(40.0, "fail")]
+
+    def test_flap_cycles_alternate_edges(self):
+        plan = FaultPlan(seed=1, flap_at_ms=10.0, flap_down_ms=5.0,
+                         flap_up_ms=20.0, flap_cycles=2)
+        assert drive_fault_schedule(plan) == [
+            (10.0, "fail"), (15.0, "revive"),
+            (35.0, "fail"), (40.0, "revive")]
+
+    def test_death_truncates_flapping(self):
+        # No edge at or after the death survives: nothing revives a
+        # cleanly dead drive.
+        plan = FaultPlan(seed=1, flap_at_ms=10.0, flap_down_ms=5.0,
+                         flap_up_ms=20.0, flap_cycles=3,
+                         death_at_ms=36.0)
+        assert drive_fault_schedule(plan) == [
+            (10.0, "fail"), (15.0, "revive"),
+            (35.0, "fail"), (36.0, "fail")]
+
+    def test_oracle_is_deterministic(self):
+        plan = FaultPlan(seed=9, flap_at_ms=1.0, flap_cycles=4,
+                         death_at_ms=500.0)
+        assert drive_fault_schedule(plan) == drive_fault_schedule(plan)
+
+
+class TestPlanValidation:
+    def test_negative_death_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, death_at_ms=-1.0)
+
+    def test_negative_flap_start_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, flap_at_ms=-0.5)
+
+    @pytest.mark.parametrize("field,value", [
+        ("flap_down_ms", 0.0), ("flap_up_ms", -3.0),
+        ("flap_cycles", -1)])
+    def test_degenerate_flap_knobs_rejected(self, field, value):
+        kwargs = {"flap_at_ms": 1.0, "flap_cycles": 1, field: value}
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, **kwargs)
+
+    def test_flap_cycles_require_flap_start(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, flap_cycles=2)
+
+
+class TestExecutor:
+    def test_no_drive_faults_costs_no_process(self, sim):
+        drive = make_tiny_drive(sim)
+        assert start_drive_faults(sim, drive, FaultPlan(seed=1)) is None
+
+    def test_death_fires_at_plan_time_even_when_idle(self, sim):
+        drive = make_tiny_drive(sim)
+        start_drive_faults(sim, drive,
+                           FaultPlan(seed=1, death_at_ms=30.0))
+
+        def observer():
+            yield sim.timeout(29.9)
+            assert not drive.dead
+            yield sim.timeout(0.2)
+            assert drive.dead
+        drive_to_completion(sim, observer())
+
+    def test_flapping_follows_the_oracle(self, sim):
+        drive = make_tiny_drive(sim)
+        plan = FaultPlan(seed=1, flap_at_ms=10.0, flap_down_ms=5.0,
+                         flap_up_ms=20.0, flap_cycles=2)
+        process = start_drive_faults(sim, drive, plan)
+        observed = []
+
+        def observer():
+            last = drive.dead
+            while process.is_alive:
+                if drive.dead != last:
+                    last = drive.dead
+                    observed.append(
+                        (sim.now, "fail" if last else "revive"))
+                yield sim.timeout(0.05)
+            if drive.dead != last:  # final edge lands as process exits
+                observed.append(
+                    (sim.now, "fail" if drive.dead else "revive"))
+        drive_to_completion(sim, observer())
+        expected = drive_fault_schedule(plan)
+        assert [action for _, action in observed] == \
+            [action for _, action in expected]
+        for (seen_at, _), (planned_at, _) in zip(observed, expected):
+            assert seen_at == pytest.approx(planned_at, abs=0.1)
+
+    def test_past_edges_fire_immediately(self, sim):
+        drive = make_tiny_drive(sim)
+
+        def late_attach():
+            yield sim.timeout(50.0)
+            start_drive_faults(sim, drive,
+                               FaultPlan(seed=1, death_at_ms=10.0))
+            yield sim.timeout(0.0)
+            assert drive.dead
+        drive_to_completion(sim, late_attach())
+
+    def test_same_plan_reproduces_identical_history(self):
+        def history(seed):
+            sim = Simulation()
+            drive = make_tiny_drive(sim)
+            plan = FaultPlan(seed=seed, flap_at_ms=5.0,
+                             flap_down_ms=3.0, flap_up_ms=7.0,
+                             flap_cycles=3, death_at_ms=40.0)
+            process = start_drive_faults(sim, drive, plan)
+            edges = []
+
+            def observer():
+                last = drive.dead
+                while process.is_alive:
+                    if drive.dead != last:
+                        last = drive.dead
+                        edges.append((round(sim.now, 3), last))
+                    yield sim.timeout(0.01)
+            drive_to_completion(sim, observer())
+            return edges
+        assert history(4) == history(4)

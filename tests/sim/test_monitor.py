@@ -5,7 +5,8 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim import CounterSet, LatencyRecorder, Simulation, UtilizationTracker
+from repro.sim import (CounterSet, LatencyRecorder, PhasedLatencyRecorder,
+                       Simulation, UtilizationTracker)
 
 
 class TestLatencyRecorder:
@@ -121,3 +122,48 @@ class TestUtilizationTracker:
         tracker.adjust(+3)
         tracker.adjust(-1)
         assert tracker.level == 2
+
+
+class TestPhasedLatencyRecorder:
+    def test_samples_route_to_current_phase(self):
+        phased = PhasedLatencyRecorder()
+        phased.record(1.0)
+        phased.set_phase("degraded")
+        phased.record(10.0)
+        phased.record(20.0)
+        assert phased.phases == ["healthy", "degraded"]
+        assert phased.recorder("healthy").count == 1
+        assert phased.recorder("degraded").count == 2
+        assert phased.recorder("degraded").mean == pytest.approx(15.0)
+
+    def test_phase_property_tracks_label(self):
+        phased = PhasedLatencyRecorder(initial_phase="warmup")
+        assert phased.phase == "warmup"
+        phased.set_phase("steady")
+        assert phased.phase == "steady"
+
+    def test_empty_phases_are_hidden(self):
+        phased = PhasedLatencyRecorder()
+        phased.recorder("degraded")  # created but never recorded into
+        phased.record(2.0)
+        assert phased.phases == ["healthy"]
+
+    def test_overall_merges_all_phases(self):
+        phased = PhasedLatencyRecorder()
+        for value in (1.0, 2.0):
+            phased.record(value)
+        phased.set_phase("degraded")
+        phased.record(9.0)
+        merged = phased.overall()
+        assert merged.count == 3
+        assert merged.mean == pytest.approx(4.0)
+
+    def test_revisiting_a_phase_reuses_its_bucket(self):
+        phased = PhasedLatencyRecorder()
+        phased.record(1.0)
+        phased.set_phase("degraded")
+        phased.record(5.0)
+        phased.set_phase("healthy")
+        phased.record(3.0)
+        assert phased.phases == ["healthy", "degraded"]
+        assert phased.recorder("healthy").count == 2

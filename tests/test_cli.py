@@ -53,3 +53,30 @@ class TestCommands:
     def test_unknown_device_rejected(self):
         with pytest.raises(SystemExit):
             main(["trace", "--device", "floppy"])
+
+
+class TestRaidRebuildCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["raid-rebuild"])
+        assert args.seed == 0
+        assert args.smoke is False
+        assert args.intensities == ""
+
+    def test_parser_options(self):
+        args = build_parser().parse_args(
+            ["raid-rebuild", "--seed", "9", "--smoke",
+             "--intensities", "8,4"])
+        assert args.seed == 9
+        assert args.smoke is True
+        assert args.intensities == "8,4"
+
+    def test_bad_intensities_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["raid-rebuild", "--smoke", "--intensities", "fast"])
+
+    def test_smoke_run(self, capsys):
+        assert main(["raid-rebuild", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "rebuild" in out
+        assert "degraded" in out
+        assert "fingerprint" in out

@@ -212,14 +212,14 @@ class UnitlessPublicSignature(_SharedRule):
     ``repro.units`` annotation nor a ``# unit:`` comment is exactly
     the situation this analyzer cannot check — so the signature itself
     is the finding.  Scoped to the packages where mixed units corrupt
-    disks: ``repro.core`` and ``repro.disk``.
+    disks: ``repro.core``, ``repro.disk`` and ``repro.raid``.
     """
 
     code = "TUN008"
     name = "unitless-public-signature"
-    summary = ("public core/disk signature with dimension-suggestive "
-               "names but no unit annotations")
-    scope = ("src/repro/core/*", "src/repro/disk/*")
+    summary = ("public core/disk/raid signature with "
+               "dimension-suggestive names but no unit annotations")
+    scope = ("src/repro/core/*", "src/repro/disk/*", "src/repro/raid/*")
 
     def check(self, ctx: "UnitsContext") -> Iterator["Finding"]:
         for sig in ctx.file_sigs():
