@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf perf-smoke profile lint trailsan units sansan test-trailsan typecheck
+.PHONY: test bench perf perf-smoke profile lint trailsan units iso analyzers sansan test-trailsan test-trailiso typecheck
 
 # Tier-1: the full unit/property/integration suite (includes perf-smoke).
 test:
@@ -38,13 +38,26 @@ trailsan:
 units:
 	$(PYTHON) -m tools.trailunits src tools
 
-# `make lint` family alias: all three repo-native static passes.
-sansan: lint trailsan units
+# Cross-instance isolation analysis (docs/STATIC_ANALYSIS.md): module
+# mutables, context escapes, ambient singletons, TIS001-TIS005 plus
+# TIS000 annotation hygiene — over src/ and the tools tree.
+iso:
+	$(PYTHON) -m tools.trailiso src tools
+
+# All four repo-native static passes; `sansan` kept as the historical
+# alias.
+analyzers: lint trailsan units iso
+sansan: analyzers
 
 # Tier-1 suite under the TRAILSAN=1 runtime sanitizer: atomic groups
 # are value-checked at every context switch.
 test-trailsan:
 	TRAILSAN=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Tier-1 suite under the TRAILISO=1 runtime twin: the interleaved
+# multi-instance matrix widens (tests/integration/test_two_instances).
+test-trailiso:
+	TRAILISO=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
 
 # Strict typing over the paper-critical packages (mypy.ini).  mypy is a
 # CI dependency, not a vendored one: when it is absent locally the

@@ -25,7 +25,7 @@ import pytest
 
 from repro.analysis import build_trail_system, render_table
 from repro.core.config import TrailConfig
-from repro.core.driver import TrailDriver
+from repro.core.instance import TrailInstance
 from repro.core.recovery import RecoveryReport
 from repro.disk.presets import st41601n, wd_caviar_10gb
 from repro.sim import Simulation
@@ -59,10 +59,12 @@ def recover(log_snapshot, data_snapshot,
     data_drive = wd_caviar_10gb().make_drive(sim, "data0")
     log_drive.store.restore(log_snapshot)
     data_drive.store.restore(data_snapshot)
-    driver = TrailDriver(sim, log_drive, {0: data_drive}, config)
-    sim.run_until(sim.process(driver.mount()))
-    assert driver.last_recovery is not None
-    return driver.last_recovery
+    # format_log=False: the restored snapshot *is* the formatted,
+    # crashed log image the recovery pass has to make sense of.
+    instance = TrailInstance(sim, log_drive, {0: data_drive}, config,
+                             format_log=False)
+    assert instance.driver.last_recovery is not None
+    return instance.driver.last_recovery
 
 
 @pytest.fixture(scope="module")

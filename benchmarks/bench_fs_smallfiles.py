@@ -17,7 +17,7 @@ import pytest
 from repro.analysis import render_table
 from repro.baselines.standard import StandardDriver
 from repro.core.config import TrailConfig
-from repro.core.driver import TrailDriver
+from repro.core.instance import TrailInstance
 from repro.disk.presets import st41601n, wd_caviar_10gb
 from repro.fs import FileSystem
 from repro.sim import Simulation
@@ -32,10 +32,8 @@ def run_spool(kind: str):
     data_drive = wd_caviar_10gb().make_drive(sim, "data0")
     if kind == "trail":
         log_drive = st41601n().make_drive(sim, "log")
-        config = TrailConfig()
-        TrailDriver.format_disk(log_drive, config)
-        device = TrailDriver(sim, log_drive, {0: data_drive}, config)
-        sim.run_until(sim.process(device.mount()))
+        device = TrailInstance(
+            sim, log_drive, {0: data_drive}, TrailConfig()).driver
     else:
         device = StandardDriver(sim, {0: data_drive})
     fs = sim.run_until(sim.process(

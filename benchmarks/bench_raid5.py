@@ -16,7 +16,7 @@ import pytest
 
 from repro.analysis import render_table
 from repro.core.config import TrailConfig
-from repro.core.driver import TrailDriver
+from repro.core.instance import TrailInstance
 from repro.disk.presets import st41601n, wd_caviar_10gb
 from repro.raid import Raid5Array
 from repro.sim import Simulation
@@ -54,11 +54,10 @@ def run_raw_raid() -> tuple:
 def run_trail_raid() -> tuple:
     sim = Simulation()
     array = build_array(sim)
-    log_drive = st41601n().make_drive(sim, "trail-log")
-    config = TrailConfig()
-    TrailDriver.format_disk(log_drive, config)
-    trail = TrailDriver(sim, log_drive, {0: array}, config)
-    sim.run_until(sim.process(trail.mount()))
+    instance = TrailInstance(
+        sim, st41601n().make_drive(sim, "trail-log"), {0: array},
+        TrailConfig())
+    trail = instance.driver
     rng = random.Random(21)
     latencies = []
 

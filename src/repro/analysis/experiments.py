@@ -2,40 +2,30 @@
 
 Every benchmark needs the same scaffolding — a simulation, drive
 models matching the paper's testbed, a formatted/mounted driver — so
-it lives here once.
+it lives here once.  Assembly itself is owned by
+:mod:`repro.core.instance`: the ``build_*`` functions here are the
+historical entry points, now thin wrappers over
+:class:`~repro.core.instance.TrailInstance` /
+:class:`~repro.core.instance.BaselineInstance` so every benchmark
+constructs a proper isolated instance instead of wiring the stack ad
+hoc.  ``TrailSystem`` / ``BaselineSystem`` are kept as aliases for the
+existing call sites; the attribute surface (``sim`` / ``driver`` /
+``log_drive`` / ``data_drives``) is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Optional
 
-from repro.baselines.lfs import LfsDriver
-from repro.baselines.standard import StandardDriver
 from repro.core.config import TrailConfig
-from repro.core.driver import TrailDriver
+from repro.core.instance import BaselineInstance, TrailInstance
 from repro.disk.drive import DiskDrive
-from repro.disk.presets import DriveSpec, st41601n, wd_caviar_10gb
-from repro.sim import Simulation
+from repro.disk.presets import DriveSpec
 
-
-@dataclass
-class TrailSystem:
-    """A mounted Trail driver and its drives."""
-
-    sim: Simulation
-    driver: TrailDriver
-    log_drive: DiskDrive
-    data_drives: Dict[int, DiskDrive]
-
-
-@dataclass
-class BaselineSystem:
-    """A standard (or LFS) driver and its drives."""
-
-    sim: Simulation
-    driver: StandardDriver
-    data_drives: Dict[int, DiskDrive]
+#: Historical names for the facade classes (the dataclasses they
+#: replaced had exactly this attribute surface).
+TrailSystem = TrailInstance
+BaselineSystem = BaselineInstance
 
 
 def build_trail_system(
@@ -45,50 +35,31 @@ def build_trail_system(
     data_spec: Optional[DriveSpec] = None,
     mount: bool = True,
     phase_drift: Optional[Callable[[float], float]] = None,
-) -> TrailSystem:
+) -> TrailInstance[DiskDrive]:
     """The paper's testbed: one ST41601N log disk, WD Caviar data disks.
 
     With ``mount=True`` the simulation is advanced through format +
     mount so the returned driver is ready for requests.
     """
-    sim = Simulation()
-    log_drive = (log_spec or st41601n()).make_drive(
-        sim, "trail-log", phase_drift=phase_drift)
-    data_drives = {
-        disk_id: (data_spec or wd_caviar_10gb()).make_drive(
-            sim, f"data{disk_id}")
-        for disk_id in range(data_disk_count)
-    }
-    trail_config = config or TrailConfig()
-    TrailDriver.format_disk(log_drive, trail_config)
-    driver = TrailDriver(sim, log_drive, data_drives, trail_config)
-    if mount:
-        sim.run_until(sim.process(driver.mount()))
-    return TrailSystem(sim=sim, driver=driver, log_drive=log_drive,
-                       data_drives=data_drives)
+    return TrailInstance.build(
+        data_disk_count=data_disk_count, config=config,
+        log_spec=log_spec, data_spec=data_spec, mount=mount,
+        phase_drift=phase_drift)
 
 
 def build_standard_system(
     data_disk_count: int = 1,
     data_spec: Optional[DriveSpec] = None,
-) -> BaselineSystem:
+) -> BaselineInstance[DiskDrive]:
     """The paper's baseline: the same data disks behind a plain driver."""
-    sim = Simulation()
-    data_drives = {
-        disk_id: (data_spec or wd_caviar_10gb()).make_drive(
-            sim, f"data{disk_id}")
-        for disk_id in range(data_disk_count)
-    }
-    driver = StandardDriver(sim, data_drives)
-    return BaselineSystem(sim=sim, driver=driver, data_drives=data_drives)
+    return BaselineInstance.build_standard(
+        data_disk_count=data_disk_count, data_spec=data_spec)
 
 
 def build_lfs_system(
     data_spec: Optional[DriveSpec] = None,
     segment_sectors: int = 512,
-) -> BaselineSystem:
+) -> BaselineInstance[DiskDrive]:
     """The related-work comparator: one disk behind the LFS driver."""
-    sim = Simulation()
-    data_drives = {0: (data_spec or wd_caviar_10gb()).make_drive(sim, "lfs0")}
-    driver = LfsDriver(sim, data_drives, segment_sectors=segment_sectors)
-    return BaselineSystem(sim=sim, driver=driver, data_drives=data_drives)
+    return BaselineInstance.build_lfs(
+        data_spec=data_spec, segment_sectors=segment_sectors)

@@ -29,10 +29,8 @@ from __future__ import annotations
 import json
 import time
 from pathlib import Path
-from typing import Callable, Dict, NamedTuple
-
-#: Scenario name -> callable(scale) -> ops performed.
-SCENARIOS: Dict[str, Callable[[float], int]] = {}
+from types import MappingProxyType
+from typing import Callable, Dict, Mapping, NamedTuple
 
 #: Report rows: {scenario: {"ops_per_sec": ..., "wall_s": ...}}.
 BenchReport = Dict[str, Dict[str, float]]
@@ -53,19 +51,10 @@ class PerfResult(NamedTuple):
         return self.ops / self.wall_s if self.wall_s > 0 else float("inf")
 
 
-def _scenario(name: str) -> Callable[[Callable[[float], int]],
-                                     Callable[[float], int]]:
-    def register(func: Callable[[float], int]) -> Callable[[float], int]:
-        SCENARIOS[name] = func
-        return func
-    return register
-
-
 # ----------------------------------------------------------------------
 # Scenario bodies (frozen — see module docstring)
 
 
-@_scenario("kernel-churn")
 def kernel_churn(scale: float = 1.0) -> int:
     """Event-kernel churn: timeouts, succeed/wait cycles, conditions."""
     from repro.sim import Simulation
@@ -99,7 +88,6 @@ def kernel_churn(scale: float = 1.0) -> int:
     return ops
 
 
-@_scenario("sector-churn")
 def sector_churn(scale: float = 1.0) -> int:
     """SectorStore write/read/erase mix with extent scans."""
     from repro.disk.sectors import SectorStore
@@ -129,7 +117,6 @@ def sector_churn(scale: float = 1.0) -> int:
     return ops
 
 
-@_scenario("fig3-sparse")
 def fig3_sparse(scale: float = 1.0) -> int:
     """Fig. 3 sparse-mode synchronous writes on the full Trail stack."""
     from repro.analysis.experiments import build_trail_system
@@ -148,7 +135,6 @@ def fig3_sparse(scale: float = 1.0) -> int:
     return requests * 2
 
 
-@_scenario("tpcc-small")
 def tpcc_small(scale: float = 1.0) -> int:
     """A small seeded TPC-C run on the Trail system."""
     from repro.tpcc import TpccRunConfig, run_tpcc
@@ -157,6 +143,16 @@ def tpcc_small(scale: float = 1.0) -> int:
     result = run_tpcc(TpccRunConfig(
         system="trail", transactions=transactions, concurrency=2, seed=11))
     return result.transactions_completed
+
+
+#: Scenario name -> callable(scale) -> ops performed.
+# trailiso: shared_immutable -- scenario registry frozen at import
+SCENARIOS: Mapping[str, Callable[[float], int]] = MappingProxyType({
+    "kernel-churn": kernel_churn,
+    "sector-churn": sector_churn,
+    "fig3-sparse": fig3_sparse,
+    "tpcc-small": tpcc_small,
+})
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,8 @@ from repro.core.allocator import TrackAllocator
 from repro.core.buffer import BufferManager, LiveRecord, PendingPage
 from repro.core.config import MAX_TRAIL_BATCH, TRAIL_SIGNATURE, TrailConfig
 from repro.core.driver import TrailDriver, TrailStats, reserved_layout
+from repro.core.instance import (
+    BaselineInstance, TrailInstance, run_interleaved)
 from repro.core.format import (
     BatchEntry, HEADER_FIRST_BYTE, LogDiskHeader, NULL_LBA,
     PAYLOAD_FIRST_BYTE, RecordHeader, decode_disk_header,
@@ -21,6 +23,7 @@ from repro.core.recovery import LocatedRecord, RecoveryManager, RecoveryReport
 from repro.core.writeback import WritebackScheduler
 
 __all__ = [
+    "BaselineInstance",
     "BatchEntry",
     "BufferManager",
     "CalibrationResult",
@@ -41,6 +44,7 @@ __all__ = [
     "TrackAllocator",
     "TrailConfig",
     "TrailDriver",
+    "TrailInstance",
     "TrailStats",
     "WritebackScheduler",
     "decode_disk_header",
@@ -50,4 +54,5 @@ __all__ = [
     "is_record_header",
     "reserved_layout",
     "restore_payload",
+    "run_interleaved",
 ]

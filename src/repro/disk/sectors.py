@@ -38,30 +38,26 @@ from repro.units import SECTOR_SIZE, Lba, Sectors
 #: two chunks, small enough that sparse writes stay cheap to copy.
 CHUNK_SECTORS = 32
 
-#: Memoized decomposition of a chunk bitmask into (start, length) runs.
-#: Mask values repeat heavily across chunks and scans (single sectors,
-#: full chunks, common partial fills), so the bit arithmetic runs once
-#: per distinct pattern.  Bounded defensively; see _mask_runs().
-_MASK_RUNS: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+def _decompose_mask(mask: int) -> Tuple[Tuple[int, int], ...]:
+    """(start_bit, length) runs of consecutive ones in ``mask``.
 
-
-def _mask_runs(mask: int) -> Tuple[Tuple[int, int], ...]:
-    """(start_bit, length) runs of consecutive ones in ``mask``."""
-    runs = _MASK_RUNS.get(mask)
-    if runs is None:
-        if len(_MASK_RUNS) > (1 << 16):
-            _MASK_RUNS.clear()
-        decomposed: List[Tuple[int, int]] = []
-        value = mask
-        while value:
-            low = (value & -value).bit_length() - 1
-            tail = value >> low
-            length = ((tail + 1) & ~tail).bit_length() - 1
-            decomposed.append((low, length))
-            shift = low + length
-            value = value >> shift << shift
-        runs = _MASK_RUNS[mask] = tuple(decomposed)
-    return runs
+    Mask values repeat heavily across chunks and scans (single sectors,
+    full chunks, common partial fills), so each :class:`SectorStore`
+    memoizes decompositions per instance — a cache keyed on this
+    store's own write patterns that dies with the store, instead of a
+    module-level dict shared (and polluted) across every Trail instance
+    in the process.
+    """
+    decomposed: List[Tuple[int, int]] = []
+    value = mask
+    while value:
+        low = (value & -value).bit_length() - 1
+        tail = value >> low
+        length = ((tail + 1) & ~tail).bit_length() - 1
+        decomposed.append((low, length))
+        shift = low + length
+        value = value >> shift << shift
+    return tuple(decomposed)
 
 
 class SectorSnapshot:
@@ -205,7 +201,7 @@ class SectorStore:
 
     __slots__ = ("total_sectors", "sector_size", "_chunk_bytes",
                  "_zero_chunk", "_chunks", "_masks", "_owned", "_shared",
-                 "_written_count", "_extent_cache")
+                 "_written_count", "_extent_cache", "_mask_runs")
 
     def __init__(self, total_sectors: Sectors,
                  sector_size: int = SECTOR_SIZE) -> None:
@@ -226,6 +222,9 @@ class SectorStore:
         self._shared = False
         self._written_count = 0
         self._extent_cache: Optional[List[Tuple[int, int]]] = None
+        #: Per-instance memo of mask -> (start, length) runs; bounded
+        #: defensively in written_extents().
+        self._mask_runs: Dict[int, Tuple[Tuple[int, int], ...]] = {}
 
     def __len__(self) -> int:
         """Number of sectors that have ever been written."""
@@ -511,12 +510,18 @@ class SectorStore:
             run_start = -1
             run_end = -1  # one past the last LBA of the open run
             masks = self._masks
+            memo = self._mask_runs
             for index in sorted(masks):
                 mask = masks[index]
                 if not mask:
                     continue
                 base = index * CHUNK_SECTORS
-                for low, run_length in _mask_runs(mask):
+                runs = memo.get(mask)
+                if runs is None:
+                    if len(memo) > (1 << 16):
+                        memo.clear()
+                    runs = memo[mask] = _decompose_mask(mask)
+                for low, run_length in runs:
                     start = base + low
                     if start == run_end:
                         run_end += run_length

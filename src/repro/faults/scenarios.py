@@ -15,10 +15,12 @@ from ``repro.faults.__init__`` (the drive layer imports
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from types import MappingProxyType
+from typing import (
+    Any, Callable, Generator, List, Mapping, Optional, Tuple)
 
 from repro.core.config import TrailConfig
-from repro.core.driver import TrailDriver
+from repro.core.instance import TrailInstance
 from repro.core.recovery import RecoveryReport
 from repro.disk.drive import DiskDrive
 from repro.disk.presets import tiny_test_disk
@@ -44,17 +46,9 @@ class ScenarioResult:
     notes: List[str] = field(default_factory=list)
 
 
-@dataclass
-class _Testbed:
-    sim: Simulation
-    driver: TrailDriver
-    log_drive: DiskDrive
-    data_drives: Dict[int, DiskDrive]
-
-
 def _build_testbed(config: Optional[TrailConfig] = None,
-                   data_disk_count: int = 1) -> _Testbed:
-    """A tiny-drive Trail system (fast enough for an interactive demo)."""
+                   data_disk_count: int = 1) -> TrailInstance[DiskDrive]:
+    """A tiny-drive Trail instance (fast enough for an interactive demo)."""
     sim = Simulation()
     spec = tiny_test_disk(cylinders=40)
     log_drive = spec.make_drive(sim, "trail-log")
@@ -63,14 +57,11 @@ def _build_testbed(config: Optional[TrailConfig] = None,
         for disk_id in range(data_disk_count)
     }
     trail_config = config or TrailConfig(idle_reposition_interval_ms=0)
-    TrailDriver.format_disk(log_drive, trail_config)
-    driver = TrailDriver(sim, log_drive, data_drives, trail_config)
-    sim.run_until(sim.process(driver.mount()))
-    return _Testbed(sim=sim, driver=driver, log_drive=log_drive,
-                    data_drives=data_drives)
+    return TrailInstance(sim, log_drive, data_drives, trail_config)
 
 
-def _writer(bed: _Testbed, count: int, seed: int, gap_ms: float = 2.0,
+def _writer(bed: TrailInstance[DiskDrive], count: int, seed: int,
+            gap_ms: float = 2.0,
             span: Optional[int] = None,
             ) -> Generator[Event, Any, Tuple[int, int]]:
     """Issue ``count`` seeded single-page writes, tolerating failures."""
@@ -93,7 +84,8 @@ def _writer(bed: _Testbed, count: int, seed: int, gap_ms: float = 2.0,
     return acked, failed
 
 
-def _collect(bed: _Testbed, result: ScenarioResult) -> None:
+def _collect(bed: TrailInstance[DiskDrive],
+             result: ScenarioResult) -> None:
     """Fill the stats tables from every drive and the driver."""
     drives = [bed.log_drive] + [bed.data_drives[key]
                                 for key in sorted(bed.data_drives)]
@@ -196,14 +188,7 @@ def _scenario_corrupt_log_crash(seed: int) -> ScenarioResult:
         f"crashed at t=120 ms: {acked} writes acknowledged, "
         f"{failed} failed")
 
-    bed.log_drive.power_on()
-    for drive in bed.data_drives.values():
-        drive.power_on()
-    remounted = TrailDriver(bed.sim, bed.log_drive, bed.data_drives,
-                            bed.driver.config)
-    report = bed.sim.run_until(bed.sim.process(remounted.mount()))
-    bed.driver = remounted
-    result.recovery = report
+    result.recovery = report = bed.remount()
     if report is not None and report.damaged:
         result.notes.append(
             "recovery found bit-flipped records via the payload CRC and "
@@ -233,12 +218,14 @@ def _scenario_latency_spikes(seed: int) -> ScenarioResult:
     return result
 
 
-SCENARIOS: Dict[str, Callable[[int], ScenarioResult]] = {
-    "flaky-data-disk": _scenario_flaky_data_disk,
-    "dying-log-disk": _scenario_dying_log_disk,
-    "corrupt-log-crash": _scenario_corrupt_log_crash,
-    "latency-spikes": _scenario_latency_spikes,
-}
+# trailiso: shared_immutable -- scenario registry frozen at import; per-run state lives in each runner's TrailInstance
+SCENARIOS: Mapping[str, Callable[[int], ScenarioResult]] = \
+    MappingProxyType({
+        "flaky-data-disk": _scenario_flaky_data_disk,
+        "dying-log-disk": _scenario_dying_log_disk,
+        "corrupt-log-crash": _scenario_corrupt_log_crash,
+        "latency-spikes": _scenario_latency_spikes,
+    })
 
 
 def run_fault_scenario(name: str, seed: int = 0) -> ScenarioResult:

@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.core.config import TrailConfig
-from repro.core.driver import TrailDriver
+from repro.core.instance import TrailInstance
 from repro.disk.drive import DiskDrive
 from repro.disk.presets import tiny_test_disk
 from repro.errors import DiskError, ReproError
@@ -169,10 +169,10 @@ def run_raid_rebuild(config: RaidRebuildConfig) -> RaidRebuildResult:
             stripes_per_burst=config.rebuild_stripes_per_burst,
             pause_ms=config.rebuild_pause_ms,
             writeback_defer_ms=config.writeback_defer_ms))
-    trail_config = TrailConfig(idle_reposition_interval_ms=0)
-    TrailDriver.format_disk(log_drive, trail_config)
-    trail = TrailDriver(sim, log_drive, {0: array}, trail_config)
-    sim.run_until(sim.process(trail.mount()))
+    instance = TrailInstance(
+        sim, log_drive, {0: array},
+        TrailConfig(idle_reposition_interval_ms=0))
+    trail = instance.driver
 
     result = RaidRebuildResult(config=config,
                                stripes_total=array.stripes_total)

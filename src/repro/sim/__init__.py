@@ -11,7 +11,8 @@ from repro.sim.kernel import Simulation
 from repro.sim.perturb import PerturbedSimulation
 from repro.sim.process import Interrupt, Process, ProcessGenerator
 from repro.sim.resources import PriorityResource, Request, Resource, Store
-from repro.sim.sanitizer import TrailSanitizer, sanitizer_from_env
+from repro.sim.sanitizer import (
+    TrailSanitizer, iso_from_env, sanitizer_from_env)
 from repro.sim.monitor import (
     CounterSet, LatencyRecorder, PhasedLatencyRecorder, UtilizationTracker)
 
@@ -35,5 +36,6 @@ __all__ = [
     "UtilizationTracker",
     "all_of",
     "any_of",
+    "iso_from_env",
     "sanitizer_from_env",
 ]

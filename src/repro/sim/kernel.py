@@ -377,6 +377,20 @@ class Simulation:
                 raise event._exception
         return target.value
 
+    def step(self) -> bool:
+        """Dispatch the single next event; False when nothing is queued.
+
+        The public single-step interface used by the ``TRAILISO``
+        interleaved-instance harness: several simulations advance in
+        round-robin, one dispatched event per turn.  Ordering within
+        one simulation is identical to :meth:`run` / :meth:`run_until`
+        (all three pop the globally smallest ``(time, sequence)``).
+        """
+        if not self._heap and not self._ready:
+            return False
+        self._step()
+        return True
+
     def _step(self) -> None:
         ready = self._ready
         heap = self._heap

@@ -117,3 +117,16 @@ def sanitizer_from_env() -> Optional[TrailSanitizer]:
     if flag == "" or flag == "0":
         return None
     return TrailSanitizer()
+
+
+def iso_from_env() -> bool:
+    """True when ``TRAILISO`` is enabled.
+
+    The runtime twin of ``tools/trailiso``: test suites widen their
+    interleaved multi-instance matrices when this is set.  Like
+    ``TRAILSAN``, any value but empty/``0`` enables it.  This module
+    is the one sanctioned perimeter for ambient environment reads
+    (TIS004) — everything downstream takes plain parameters.
+    """
+    flag = os.environ.get("TRAILISO", "")
+    return flag != "" and flag != "0"

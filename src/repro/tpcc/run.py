@@ -16,6 +16,7 @@ from repro.baselines.group_commit import GroupCommitPolicy, SyncCommitPolicy
 from repro.baselines.standard import StandardDriver
 from repro.core.config import TrailConfig
 from repro.core.driver import TrailDriver
+from repro.core.instance import TrailInstance
 from repro.db.engine import TransactionEngine
 from repro.db.locks import LockManager
 from repro.db.pages import BufferPool
@@ -111,10 +112,13 @@ def run_tpcc(config: TpccRunConfig) -> TpccRunResult:
 
     trail_driver: Optional[TrailDriver] = None
     if config.system == "trail":
-        log_drive = st41601n().make_drive(sim, "trail-log")
-        trail_config = TrailConfig()
-        TrailDriver.format_disk(log_drive, trail_config)
-        trail_driver = TrailDriver(sim, log_drive, data_disks, trail_config)
+        # Drive-creation order (data disks above, then the log disk)
+        # is part of the golden TPC-C trace; the instance mounts
+        # inside run_process below, exactly where the mount always ran.
+        instance = TrailInstance(
+            sim, st41601n().make_drive(sim, "trail-log"), data_disks,
+            TrailConfig(), mount=False)
+        trail_driver = instance.driver
         device = trail_driver
         policy = SyncCommitPolicy()
     elif config.system == "ext2":

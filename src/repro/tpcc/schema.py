@@ -10,7 +10,8 @@ extent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from types import MappingProxyType
+from typing import Mapping
 
 #: Districts per warehouse (clause 1.2.1).
 DISTRICTS_PER_WAREHOUSE = 10
@@ -28,7 +29,8 @@ INITIAL_NEW_ORDERS_PER_DISTRICT = 900
 MAX_ORDER_LINES = 15
 
 #: Minimum row sizes in bytes (clause 4.2.2).
-RECORD_BYTES: Dict[str, int] = {
+# trailiso: shared_immutable -- spec constants, frozen at import
+RECORD_BYTES: Mapping[str, int] = MappingProxyType({
     "warehouse": 89,
     "district": 95,
     "customer": 655,
@@ -38,7 +40,7 @@ RECORD_BYTES: Dict[str, int] = {
     "order_line": 54,
     "item": 82,
     "stock": 306,
-}
+})
 
 #: Transaction mix (clause 5.2.3's minimums, as deployed in practice).
 TRANSACTION_MIX = (

@@ -1,0 +1,1 @@
+"""Tests for the trailiso cross-instance isolation analyzer."""

@@ -1,0 +1,17 @@
+"""Fixture: every way a ``# trailiso:`` annotation can go wrong.
+
+No ``# expect:`` markers here — the markers would change the comment
+text the annotation parser sees — so the test for this fixture pins
+the findings by hand.
+"""
+
+from types import MappingProxyType
+
+# trailiso: frozen_forever -- no such annotation kind
+TABLE = MappingProxyType({"a": 1})
+
+# trailiso: shared_immutable -- floats in the void, anchors nothing
+
+
+# trailiso: shared_immutable
+SIZES = MappingProxyType({"page": 4096})

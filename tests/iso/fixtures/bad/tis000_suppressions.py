@@ -1,0 +1,11 @@
+"""Fixture: suppression-comment hygiene (TIS000).
+
+Three sins: a suppression that fires but gives no reason, one that
+suppresses nothing, and one naming a rule code that does not exist.
+"""
+
+_PENDING = {}  # trailiso: disable=TIS001
+
+FROZEN = frozenset({1, 2})  # trailiso: disable=TIS001 -- nothing to suppress
+
+EMPTY = ()  # trailiso: disable=TIS999 -- no such rule code

@@ -1,0 +1,16 @@
+"""Fixture: mutable containers bound at module scope (TIS001).
+
+Any module-level list/dict/set/bytearray is shared by every Trail
+instance in the process; trailiso demands a freeze or an explicit
+``# trailiso: shared_immutable -- reason`` annotation.
+"""
+
+_CACHE = {}  # expect: TIS001
+
+RETRY_QUEUE = []  # expect: TIS001
+
+SEEN_DRIVES = set()  # expect: TIS001
+
+SCRATCH = bytearray(64)  # expect: TIS001
+
+BY_CODE = {code: [] for code in ("a", "b")}  # expect: TIS001

@@ -1,0 +1,18 @@
+"""Fixture: mutable class-attribute defaults (TIS002).
+
+A class-level container is one object shared by all instances of the
+class — across *every* Trail stack in the process.
+"""
+
+
+class PageCache:
+    pages = {}  # expect: TIS002
+    lru = []  # expect: TIS002
+
+    def __init__(self):
+        self.hits = 0
+
+
+class RequestLog:
+    #: looks like a per-instance default; it is not.
+    entries = []  # expect: TIS002

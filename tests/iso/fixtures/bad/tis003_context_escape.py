@@ -1,0 +1,31 @@
+"""Fixture: simulation-context values escaping to shared scope (TIS003).
+
+Once a ``sim``/``driver`` (or anything derived from one) lands in a
+module global or class attribute, a second instance in the same
+process reads the first instance's state.
+"""
+
+_LAST_SIM = None
+_RECENT = None
+
+
+class Tracker:
+    latest = None
+
+
+def remember(sim):
+    global _LAST_SIM
+    _LAST_SIM = sim  # expect: TIS003
+
+
+def track(driver):
+    Tracker.latest = driver  # expect: TIS003
+
+
+def log_time(sim):
+    _RECENT.append(sim.now)  # expect: TIS003
+
+
+def warm_up():
+    global _LAST_SIM
+    _LAST_SIM = build_trail_system()  # expect: TIS003

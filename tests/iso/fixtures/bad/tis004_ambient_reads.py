@@ -1,0 +1,30 @@
+"""Fixture: ambient process-global singleton reads (TIS004).
+
+Wall-clock time, the shared ``random`` module RNG, and the process
+environment are singletons; reading them couples an instance to the
+process instead of to its own ``Simulation``.
+"""
+
+import os
+import random
+import time
+
+
+def jitter_ms():
+    return random.random() * 5.0  # expect: TIS004
+
+
+def pick_victim(tracks):
+    return random.choice(tracks)  # expect: TIS004
+
+
+def stamp():
+    return time.monotonic()  # expect: TIS004
+
+
+def debug_enabled():
+    return os.environ["TRAIL_DEBUG"]  # expect: TIS004
+
+
+def debug_level():
+    return os.getenv("TRAIL_DEBUG_LEVEL", "0")  # expect: TIS004

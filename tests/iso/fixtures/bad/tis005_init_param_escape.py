@@ -1,0 +1,23 @@
+"""Fixture: constructor context parameters escaping ``self`` (TIS005).
+
+Storing the ``sim`` handed to ``__init__`` anywhere other than on the
+instance itself publishes one stack's context where another stack can
+find it.
+"""
+
+_ACTIVE_SIM = None
+
+
+class Gauge:
+    owner = None
+
+    def __init__(self, sim, panel):
+        self.sim = sim  # fine: per-instance storage
+        Gauge.owner = sim  # expect: TIS005
+        panel.sim = sim  # expect: TIS005
+
+
+class Probe:
+    def __init__(self, sim):
+        global _ACTIVE_SIM
+        _ACTIVE_SIM = sim  # expect: TIS005

@@ -1,0 +1,16 @@
+"""Near-miss fixture: mutable-looking bindings with honest annotations.
+
+Both anchor forms — trailing the binding, and on the line above —
+with a known kind and a reason, so TIS000/TIS001/TIS002 all stay
+quiet.
+"""
+
+_REGISTRY = {}  # trailiso: shared_immutable -- populated once at import, read-only after
+
+# trailiso: shared_immutable -- fixed rule table, never mutated at runtime
+_RULES = [("TIS001", "module state")]
+
+
+class Catalog:
+    # trailiso: shared_immutable -- class-level constant lookup, write-free
+    defaults = {"queue": 64}

@@ -1,0 +1,3 @@
+"""Near-miss fixture: a justified (reasoned) suppression is honored."""
+
+_SCRATCH = {}  # trailiso: disable=TIS001 -- fixture: demonstrates a justified suppression

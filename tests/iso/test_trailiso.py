@@ -1,0 +1,170 @@
+"""The trailiso isolation pass: rules, annotations, suppressions, CLI.
+
+Each known-bad fixture under ``fixtures/bad`` declares its seeded
+violations with ``# expect: TISnnn`` markers and must report exactly
+those (same codes, same lines, nothing extra); the ``fixtures/good``
+near-misses must stay clean; and the real ``src`` + ``tools`` trees
+must sweep clean with zero suppressions, since ``make iso`` is a
+blocking CI gate.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+if str(REPO) not in sys.path:
+    sys.path.insert(0, str(REPO))
+
+from tools.analysis.engine import run  # noqa: E402
+from tools.analysis.fixtures import (  # noqa: E402
+    analyze_fixture, analyze_narrowed, expected_findings, found_pairs)
+from tools.trailiso import REGISTRY, SPEC, run_paths  # noqa: E402
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD_FIXTURES = sorted((FIXTURES / "bad").glob("*.py"))
+GOOD_FIXTURES = sorted((FIXTURES / "good").glob("*.py"))
+#: Bad fixtures carrying inline ``# expect:`` markers.  The two TIS000
+#: fixtures cannot: an expect marker appended to an annotation or
+#: suppression comment would change the comment text the grammar
+#: parses, so their expectations live in dedicated tests below.
+MARKED_FIXTURES = [path for path in BAD_FIXTURES
+                   if not path.stem.startswith("tis000")]
+
+#: TIS000 is a real registered rule here (annotation hygiene), unlike
+#: the other analyzers where the 000 code is engine-only.
+ALL_CODES = {f"TIS{n:03d}" for n in range(0, 6)}
+
+
+def run_cli(*args: str) -> subprocess.CompletedProcess:
+    # ``python -m tools.trailiso`` resolves the package from the cwd.
+    return subprocess.run(
+        [sys.executable, "-m", "tools.trailiso", *args],
+        cwd=str(REPO), capture_output=True, text=True,
+        env={"PATH": "/usr/bin:/bin"})
+
+
+def test_rule_registry_is_complete():
+    assert {rule.code for rule in REGISTRY.all_rules()} == ALL_CODES
+
+
+def test_fixtures_seed_at_least_ten_violations():
+    total = sum(len(expected_findings(str(path)))
+                for path in MARKED_FIXTURES)
+    assert total >= 10
+
+
+@pytest.mark.parametrize(
+    "fixture", MARKED_FIXTURES, ids=[p.stem for p in MARKED_FIXTURES])
+def test_bad_fixture_reports_exactly_the_seeded_violations(fixture):
+    expected = expected_findings(str(fixture))
+    assert expected, f"{fixture.name} declares no # expect: markers"
+    findings = analyze_fixture(SPEC, str(fixture), root=str(REPO))
+    assert found_pairs(findings) == expected, (
+        f"{fixture.name}: expected {sorted(expected)}, got "
+        f"{[f.render() for f in findings]}")
+    own_code = fixture.stem.split("_")[0].upper()
+    assert {code for code, _ in expected} == {own_code}
+
+
+@pytest.mark.parametrize(
+    "fixture", GOOD_FIXTURES, ids=[p.stem for p in GOOD_FIXTURES])
+def test_good_fixture_is_clean(fixture):
+    findings = analyze_fixture(SPEC, str(fixture), root=str(REPO))
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_justified_suppression_counts_as_used():
+    report = run(SPEC, [str(FIXTURES / "good" / "suppressed.py")],
+                 root=str(REPO))
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+def test_annotation_hygiene_messages():
+    fixture = FIXTURES / "bad" / "tis000_annotations.py"
+    findings = analyze_fixture(SPEC, str(fixture), root=str(REPO))
+    assert [f.code for f in findings] == ["TIS000"] * 3
+    by_line = sorted(findings, key=lambda f: f.line)
+    assert "unknown trailiso annotation 'frozen_forever'" in (
+        by_line[0].message)
+    assert "not anchored" in by_line[1].message
+    assert "has no reason" in by_line[2].message
+
+
+def test_suppression_hygiene_messages():
+    fixture = FIXTURES / "bad" / "tis000_suppressions.py"
+    findings = analyze_fixture(SPEC, str(fixture), root=str(REPO))
+    assert [f.code for f in findings] == ["TIS000"] * 3
+    by_line = sorted(findings, key=lambda f: f.line)
+    assert "has no reason" in by_line[0].message
+    assert "unused suppression: TIS001" in by_line[1].message
+    assert "unknown rule code TIS999" in by_line[2].message
+
+
+def test_narrowed_run_skips_hygiene():
+    findings = analyze_narrowed(
+        SPEC, str(FIXTURES / "bad" / "tis000_suppressions.py"),
+        root=str(REPO), select=["TIS001"])
+    assert findings == []
+
+
+def test_sanitizer_perimeter_is_exempt_from_tis004():
+    # The one sanctioned os.environ perimeter, analyzed explicitly:
+    # rule-level exemption must hold even for explicit file arguments.
+    findings = analyze_fixture(
+        SPEC, str(REPO / "src" / "repro" / "sim" / "sanitizer.py"),
+        root=str(REPO))
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_fixture_directory_is_excluded_from_walks():
+    # A directory walk over tests/iso must skip the deliberately
+    # leaky fixtures; only this test package's own files get analyzed.
+    findings, checked = run_paths(
+        [str(Path(__file__).parent)], root=str(REPO))
+    assert findings == [], [f.render() for f in findings]
+    assert checked == 2  # __init__, test_trailiso
+
+
+def test_src_and_tools_sweep_clean_without_suppressions():
+    # The acceptance bar for `make iso`: zero unsuppressed findings
+    # over the real trees — and zero suppressions, full stop.
+    report = run(SPEC, ["src", "tools"], root=str(REPO))
+    assert report.findings == [], [f.render() for f in report.findings]
+    assert report.suppressed == 0
+    assert report.files_checked > 60
+
+
+def test_cli_exit_codes():
+    clean = run_cli("src")
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    for fixture in BAD_FIXTURES:
+        dirty = run_cli(str(fixture.relative_to(REPO)))
+        assert dirty.returncode == 1, (
+            f"{fixture.name}: {dirty.stdout}{dirty.stderr}")
+    missing = run_cli("no/such/path")
+    assert missing.returncode == 2
+
+
+def test_cli_json_output_schema():
+    fixture = FIXTURES / "bad" / "tis002_class_defaults.py"
+    result = run_cli("--format", "json", str(fixture.relative_to(REPO)))
+    assert result.returncode == 1
+    payload = json.loads(result.stdout)
+    assert set(payload) == {
+        "files_checked", "findings", "counts", "suppressed"}
+    assert payload["files_checked"] == 1
+    assert payload["counts"] == {"TIS002": 3}
+    assert payload["suppressed"] == 0
+    for finding in payload["findings"]:
+        assert set(finding) == {"path", "line", "col", "code", "message"}
+        assert finding["code"] == "TIS002"
+
+
+def test_cli_rejects_unknown_rule_code():
+    result = run_cli("--select", "TIS999", "src")
+    assert result.returncode == 2

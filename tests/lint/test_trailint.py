@@ -18,7 +18,7 @@ TOOLS = REPO / "tools"
 if str(TOOLS) not in sys.path:
     sys.path.insert(0, str(TOOLS))
 
-from trailint import LintConfig, all_rules, run_paths  # noqa: E402
+from trailint import REGISTRY, LintConfig, run_paths  # noqa: E402
 
 FIXTURES = Path(__file__).parent / "fixtures"
 BAD_FIXTURES = sorted((FIXTURES / "bad").glob("*.py"))
@@ -41,7 +41,7 @@ def run_cli(*args: str) -> subprocess.CompletedProcess:
 
 
 def test_rule_registry_is_complete():
-    assert {rule.code for rule in all_rules()} == ALL_CODES
+    assert {rule.code for rule in REGISTRY.all_rules()} == ALL_CODES
 
 
 @pytest.mark.parametrize(

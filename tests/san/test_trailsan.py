@@ -20,7 +20,7 @@ TOOLS = REPO / "tools"
 if str(TOOLS) not in sys.path:
     sys.path.insert(0, str(TOOLS))
 
-from trailsan import SanConfig, all_rules, run_paths  # noqa: E402
+from trailsan import REGISTRY, SanConfig, run_paths  # noqa: E402
 from trailsan.model import build_module_model, parse_annotations  # noqa: E402
 import ast  # noqa: E402
 
@@ -57,7 +57,7 @@ def run_cli(*args: str) -> subprocess.CompletedProcess:
 
 
 def test_rule_registry_is_complete():
-    assert {rule.code for rule in all_rules()} == ALL_CODES
+    assert {rule.code for rule in REGISTRY.all_rules()} == ALL_CODES
 
 
 def test_fixture_set_seeds_enough_violations():

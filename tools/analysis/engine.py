@@ -26,9 +26,9 @@ from tools.analysis.suppressions import (
     suppression_pattern)
 
 #: Directory basenames skipped during directory walks.
-SKIP_DIRS = {
+SKIP_DIRS = frozenset({
     "__pycache__", ".git", ".mypy_cache", ".pytest_cache", ".hypothesis",
-}
+})
 
 
 @dataclass

@@ -26,9 +26,10 @@ TRL009 keeps the suppressions themselves honest (unknown or unused
 codes are findings too).
 """
 
+import trailint.rules  # noqa: F401  (rule modules populate REGISTRY)
 from trailint.engine import (
     DEFAULT_EXCLUDE_PATTERNS, Finding, LintConfig, lint_file, run_paths)
-from trailint.registry import Rule, all_rules, get_rule, register
+from trailint.registry import REGISTRY, Rule
 
 __version__ = "0.1.0"
 
@@ -37,10 +38,8 @@ __all__ = [
     "Finding",
     "LintConfig",
     "Rule",
-    "all_rules",
-    "get_rule",
+    "REGISTRY",
     "lint_file",
-    "register",
     "run_paths",
     "__version__",
 ]

@@ -31,6 +31,7 @@ __all__ = [
 DEFAULT_EXCLUDE_PATTERNS: Tuple[str, ...] = (
     "tests/lint/fixtures/*",
     "tests/units/fixtures/*",
+    "tests/iso/fixtures/*",
 )
 
 
@@ -41,8 +42,8 @@ class LintConfig(AnalyzerConfig):
     exclude: Tuple[str, ...] = DEFAULT_EXCLUDE_PATTERNS
 
     def rules(self) -> List[Rule]:
-        from trailint.registry import all_rules
-        return self.selected(all_rules())
+        import trailint.rules  # noqa: F401  (populates REGISTRY)
+        return self.selected(REGISTRY.all_rules())
 
 
 class TrailintSpec(ToolSpec):

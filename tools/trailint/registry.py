@@ -3,38 +3,18 @@
 The :class:`~tools.analysis.registry.Rule` base class and
 :class:`~tools.analysis.registry.Registry` mechanics live in
 :mod:`tools.analysis`; this module pins trailint's ``TRL`` registry
-instance and keeps the historical module-level API (``register``,
-``all_rules``, ``get_rule``, ``dotted_name``) that the rule modules
-and tests import.
+instance.  Rules self-register at import time via
+``@REGISTRY.register``; ``trailint.rules`` imports every rule module
+so that importing it is enough to populate the registry.  There is no
+module-level ``register``/``all_rules`` facade: the registry is an
+instance, and callers hold the instance.
 """
 
 from __future__ import annotations
 
-from typing import List, Type
-
 from tools.analysis.registry import Registry, Rule, dotted_name
 
-__all__ = ["REGISTRY", "Rule", "all_rules", "dotted_name", "get_rule",
-           "register"]
+__all__ = ["REGISTRY", "Rule", "dotted_name"]
 
-#: The global TRL rule set.  Rules self-register at import time via
-#: :func:`register`; ``trailint.rules`` imports every rule module so
-#: that importing ``trailint`` is enough to populate it.
+#: The global TRL rule set.
 REGISTRY = Registry("TRL")
-
-
-def register(rule_class: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding ``rule_class`` to the TRL registry."""
-    return REGISTRY.register(rule_class)
-
-
-def all_rules() -> List[Rule]:
-    """Fresh instances of every registered rule, sorted by code."""
-    import trailint.rules  # noqa: F401  (populates the registry)
-    return REGISTRY.all_rules()
-
-
-def get_rule(code: str) -> Rule:
-    """Instantiate the rule registered under ``code``."""
-    import trailint.rules  # noqa: F401
-    return REGISTRY.get_rule(code)

@@ -14,30 +14,30 @@ import ast
 from typing import Iterator, List, Set, Tuple
 
 from trailint.engine import FileContext, Finding
-from trailint.registry import Rule, dotted_name, register
+from trailint.registry import REGISTRY, Rule, dotted_name
 
 #: ``time`` module functions that read the host clock.
-_CLOCK_FNS = {
+_CLOCK_FNS = frozenset({
     "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
     "perf_counter_ns", "process_time", "process_time_ns",
     "clock_gettime", "clock_gettime_ns",
-}
+})
 
 #: ``datetime``/``date`` constructors that read the host clock.
-_DATETIME_FNS = {"now", "utcnow", "today"}
+_DATETIME_FNS = frozenset({"now", "utcnow", "today"})
 
 #: Module-level ``random`` functions (they share one unseeded,
 #: process-global RNG).
-_RANDOM_FNS = {
+_RANDOM_FNS = frozenset({
     "random", "randrange", "randint", "choice", "choices", "shuffle",
     "sample", "uniform", "triangular", "betavariate", "expovariate",
     "gammavariate", "gauss", "lognormvariate", "normalvariate",
     "vonmisesvariate", "paretovariate", "weibullvariate",
     "getrandbits", "randbytes", "seed",
-}
+})
 
 
-@register
+@REGISTRY.register
 class WallClockRule(Rule):
     code = "TRL001"
     name = "no-wall-clock"
@@ -94,7 +94,7 @@ def _from_imports(tree: ast.Module) -> Set[Tuple[str, str]]:
     return pairs
 
 
-@register
+@REGISTRY.register
 class UnorderedIterationRule(Rule):
     code = "TRL002"
     name = "no-unordered-scheduling"
@@ -139,13 +139,13 @@ class UnorderedIterationRule(Rule):
 
 
 #: Attribute / variable names that denote simulated-time quantities.
-_TIME_NAMES = {
+_TIME_NAMES = frozenset({
     "now", "_now", "sim_now", "deadline", "deadline_ms", "wakeup_ms",
     "t_now",
-}
+})
 
 
-@register
+@REGISTRY.register
 class FloatTimeEqualityRule(Rule):
     code = "TRL003"
     name = "no-float-time-equality"

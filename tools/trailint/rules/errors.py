@@ -16,12 +16,12 @@ import ast
 from typing import Iterator
 
 from trailint.engine import FileContext, Finding
-from trailint.registry import Rule, dotted_name, register
+from trailint.registry import REGISTRY, Rule, dotted_name
 
-_BROAD = {"Exception", "BaseException"}
+_BROAD = frozenset({"Exception", "BaseException"})
 
 
-@register
+@REGISTRY.register
 class BroadExceptRule(Rule):
     code = "TRL004"
     name = "no-broad-except"

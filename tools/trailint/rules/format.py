@@ -15,16 +15,16 @@ import ast
 from typing import Dict, Iterator, List, Optional, Set
 
 from trailint.engine import FileContext, Finding
-from trailint.registry import Rule, dotted_name, register
+from trailint.registry import REGISTRY, Rule, dotted_name
 from trailint.rules.determinism import _from_imports
 
 #: The names whose *construction* is core/format.py's monopoly.
-_MARKER_NAMES = {"HEADER_FIRST_BYTE", "PAYLOAD_FIRST_BYTE"}
+_MARKER_NAMES = frozenset({"HEADER_FIRST_BYTE", "PAYLOAD_FIRST_BYTE"})
 _HEADER_BYTE = 0xFF
 
-_DECODE_FNS = {"decode_record_header", "decode_disk_header",
-               "decode_geometry"}
-_FORMAT_ERROR_NAMES = {"LogFormatError", "TrailError"}
+_DECODE_FNS = frozenset({"decode_record_header", "decode_disk_header",
+                         "decode_geometry"})
+_FORMAT_ERROR_NAMES = frozenset({"LogFormatError", "TrailError"})
 
 
 def _parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
@@ -35,7 +35,7 @@ def _parent_map(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
     return parents
 
 
-@register
+@REGISTRY.register
 class HeaderConstructionRule(Rule):
     code = "TRL006"
     name = "format-module-monopoly"
@@ -99,8 +99,8 @@ class HeaderConstructionRule(Rule):
 
 
 #: struct format characters that consume one value per repeat count.
-_PER_REPEAT = set("cbB?hHiIlLqQnNefdP")
-_BYTE_ORDER = set("@=<>!")
+_PER_REPEAT = frozenset("cbB?hHiIlLqQnNefdP")
+_BYTE_ORDER = frozenset("@=<>!")
 
 
 def _struct_arity(fmt: str) -> Optional[int]:
@@ -127,7 +127,7 @@ def _struct_arity(fmt: str) -> Optional[int]:
     return count
 
 
-@register
+@REGISTRY.register
 class StructArityRule(Rule):
     code = "TRL007"
     name = "struct-format-arity"
@@ -207,7 +207,7 @@ class StructArityRule(Rule):
         return None
 
 
-@register
+@REGISTRY.register
 class CrcDisciplineRule(Rule):
     code = "TRL008"
     name = "crc-discipline"

@@ -10,15 +10,15 @@ import ast
 from typing import Dict, Iterator, Set, Union
 
 from trailint.engine import FileContext, Finding
-from trailint.registry import Rule, dotted_name, register
+from trailint.registry import REGISTRY, Rule, dotted_name
 
-_MUTABLE_CALLS = {
+_MUTABLE_CALLS = frozenset({
     "list", "dict", "set", "bytearray", "defaultdict", "deque",
     "OrderedDict", "Counter",
-}
+})
 
 
-@register
+@REGISTRY.register
 class MutableDefaultRule(Rule):
     code = "TRL005"
     name = "no-mutable-defaults"
@@ -61,7 +61,7 @@ def _describe(node: ast.expr) -> str:
     return f"{dotted_name(node.func) if isinstance(node, ast.Call) else '?'}()"
 
 
-@register
+@REGISTRY.register
 class SuppressionHygieneRule(Rule):
     """Placeholder so TRL009 shows up in ``--list-rules`` and docs.
 
@@ -80,7 +80,7 @@ class SuppressionHygieneRule(Rule):
         return iter(())
 
 
-@register
+@REGISTRY.register
 class NoPrintRule(Rule):
     code = "TRL010"
     name = "no-print-in-library"
@@ -115,7 +115,7 @@ def _is_generator_def(func: Union[ast.FunctionDef,
     return False
 
 
-@register
+@REGISTRY.register
 class DiscardedProcessCallRule(Rule):
     """TRL011: the static sibling of trailsan's TSN004.
 

@@ -17,15 +17,14 @@ which checks the same atomic groups at every context switch.
 
 from trailsan.engine import (
     Finding, SanConfig, SanContext, analyze_file, run_paths)
-from trailsan.rules import Rule, all_rules, register
+from trailsan.rules import REGISTRY, Rule
 
 __all__ = [
     "Finding",
     "Rule",
     "SanConfig",
     "SanContext",
-    "all_rules",
+    "REGISTRY",
     "analyze_file",
-    "register",
     "run_paths",
 ]

@@ -36,6 +36,7 @@ DEFAULT_EXCLUDE_PATTERNS: Tuple[str, ...] = (
     "tests/san/fixtures/*",
     "tests/lint/fixtures/*",
     "tests/units/fixtures/*",
+    "tests/iso/fixtures/*",
 )
 
 
@@ -46,8 +47,7 @@ class SanConfig(AnalyzerConfig):
     exclude: Tuple[str, ...] = DEFAULT_EXCLUDE_PATTERNS
 
     def rules(self) -> List[Rule]:
-        from trailsan.rules import all_rules
-        return self.selected(all_rules())
+        return self.selected(REGISTRY.all_rules())
 
 
 class SanContext(FileContext):

@@ -45,22 +45,23 @@ ANNOTATION_RE = re.compile(
 
 #: Method names that mutate their receiver.  A call like
 #: ``self._live_records.pop(...)`` is a *write* to ``_live_records``.
-MUTATOR_METHODS = {
+MUTATOR_METHODS = frozenset({
     "add", "append", "appendleft", "clear", "discard", "drain", "extend",
     "insert", "pop", "popitem", "popleft", "push", "put", "remove",
     "reverse", "rotate", "setdefault", "sort", "update",
-}
+})
 
 #: Method names that acquire a shared resource (``sim/resources.py``).
-ACQUIRE_METHODS = {"request", "request_at"}
+ACQUIRE_METHODS = frozenset({"request", "request_at"})
 
 #: Yielded calls considered *bounded* waits: they complete in finite
 #: simulated time on their own (timers, disk commands, event factories).
-BOUNDED_YIELD_METHODS = {"timeout", "read", "write", "event", "process"}
+BOUNDED_YIELD_METHODS = frozenset({"timeout", "read", "write", "event",
+                                   "process"})
 
 #: Yielded calls considered *unbounded* waits: they only complete when
 #: some peer process acts (queue gets, nested resource acquisition).
-UNBOUNDED_YIELD_METHODS = {"get"} | ACQUIRE_METHODS
+UNBOUNDED_YIELD_METHODS = frozenset({"get"}) | ACQUIRE_METHODS
 
 
 def dotted_name(node: ast.AST) -> str:

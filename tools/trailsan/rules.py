@@ -38,18 +38,9 @@ class Rule(_SharedRule):
     scope: ClassVar[Tuple[str, ...]] = ("src/repro/*", "tools/*")
 
 
-#: The global TSN rule set; rules self-register at import time.
+#: The global TSN rule set; rules self-register at import time via
+#: ``@REGISTRY.register``.
 REGISTRY = Registry("TSN")
-
-
-def register(rule_class: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding ``rule_class`` to the TSN registry."""
-    return REGISTRY.register(rule_class)
-
-
-def all_rules() -> List[Rule]:
-    """Fresh instances of every registered rule, sorted by code."""
-    return REGISTRY.all_rules()
 
 
 def _lock_held(lock: str, held: Tuple[str, ...]) -> bool:
@@ -58,7 +49,7 @@ def _lock_held(lock: str, held: Tuple[str, ...]) -> bool:
     return any(h.split(".")[-1] == want for h in held)
 
 
-@register
+@REGISTRY.register
 class UnlockedSharedMutation(Rule):
     """TSN001: guarded state spans yields without holding its lock.
 
@@ -97,7 +88,7 @@ class UnlockedSharedMutation(Rule):
                     f"{lock}")
 
 
-@register
+@REGISTRY.register
 class LockHeldAcrossUnboundedWait(Rule):
     """TSN002: a held lock parked on a wait only a peer can finish.
 
@@ -126,7 +117,7 @@ class LockHeldAcrossUnboundedWait(Rule):
                     f"holding {locks}; a queued peer can starve")
 
 
-@register
+@REGISTRY.register
 class TornAtomicGroup(Rule):
     """TSN003: invariant pair updated in different atomic segments.
 
@@ -182,7 +173,7 @@ class TornAtomicGroup(Rule):
         return None
 
 
-@register
+@REGISTRY.register
 class ProcessCalledNotDelegated(Rule):
     """TSN004: a process generator invoked as a plain statement.
 
@@ -208,7 +199,7 @@ class ProcessCalledNotDelegated(Rule):
                     f"pass it to sim.process()")
 
 
-@register
+@REGISTRY.register
 class GeneratorReused(Rule):
     """TSN005: one generator object consumed from two places.
 

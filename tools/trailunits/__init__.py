@@ -26,7 +26,7 @@ A reason-less or unused suppression is itself a TUN000 finding.
 
 from tools.trailunits.engine import (
     DEFAULT_EXCLUDE_PATTERNS, Finding, SPEC, UnitsContext, run_paths)
-from tools.trailunits.rules import REGISTRY, register
+from tools.trailunits.rules import REGISTRY
 
 __all__ = [
     "DEFAULT_EXCLUDE_PATTERNS",
@@ -34,6 +34,5 @@ __all__ = [
     "REGISTRY",
     "SPEC",
     "UnitsContext",
-    "register",
     "run_paths",
 ]

@@ -35,6 +35,7 @@ DEFAULT_EXCLUDE_PATTERNS: Tuple[str, ...] = (
     "tests/units/fixtures/*",
     "tests/lint/fixtures/*",
     "tests/san/fixtures/*",
+    "tests/iso/fixtures/*",
 )
 
 

@@ -35,9 +35,10 @@ RAW_LITERAL = "raw-literal"
 
 #: Numeric literals always allowed where a dimensioned quantity is
 #: expected: identity elements and sentinels, not magic conversions.
-_ALLOWED_LITERALS = {0, 1, -1, 0.0, 1.0, -1.0}
+_ALLOWED_LITERALS = frozenset({0, 1, -1, 0.0, 1.0, -1.0})
 
-_PROPAGATING_BUILTINS = {"int", "float", "abs", "min", "max", "round"}
+_PROPAGATING_BUILTINS = frozenset({"int", "float", "abs", "min", "max",
+                                   "round"})
 
 
 @dataclass

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import Dict, FrozenSet, Optional, Tuple
+from types import MappingProxyType
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
 
 BYTES = "bytes"
 SECTORS = "sectors"
@@ -116,7 +117,7 @@ def classify_mix(value: str, target: str) -> Optional[str]:
 #: Converter constants: name → (dim it divides into, dim it multiplies
 #: into).  ``x * SECTOR_SIZE`` turns sectors into bytes; ``x //
 #: SECTOR_SIZE`` turns bytes into sectors.
-_CONVERTERS: Dict[str, Tuple[str, str, str]] = {
+_CONVERTERS: Mapping[str, Tuple[str, str, str]] = MappingProxyType({
     # name-key: (source dim, Mult result, Div result)
     "sector_size": (SECTORS, BYTES, SECTORS),
     "ms_per_second": (S, MS, S),
@@ -125,7 +126,7 @@ _CONVERTERS: Dict[str, Tuple[str, str, str]] = {
     # time-per-sector, so treating spt as a pure tracks↔sectors
     # converter misclassifies legitimate mechanics math.  spt stays
     # dimension-less (see _HEURISTIC_EXEMPT below).
-}
+})
 
 
 def converter_for(name: str) -> Optional[Tuple[str, str, str]]:
@@ -154,7 +155,7 @@ _SUFFIXES: Tuple[Tuple[str, str], ...] = (
     ("_cylinder", CYLINDERS),
 )
 
-_EXACT: Dict[str, str] = {
+_EXACT: Mapping[str, str] = MappingProxyType({
     "ms": MS,
     "nbytes": BYTES,
     "num_bytes": BYTES,
@@ -167,7 +168,7 @@ _EXACT: Dict[str, str] = {
     "ntracks": TRACKS,
     "cylinder": CYLINDERS,
     "ncylinders": CYLINDERS,
-}
+})
 
 #: Names the heuristics must never touch: converter constants (they are
 #: ratios, not quantities) and this repo's known odd ducks.
@@ -196,7 +197,7 @@ def heuristic_dim(name: str) -> str:
 
 
 #: ``repro.units`` alias name → dimension, for annotation parsing.
-_ALIAS_DIMS: Dict[str, str] = {
+_ALIAS_DIMS: Mapping[str, str] = MappingProxyType({
     "Bytes": BYTES,
     "Sectors": SECTORS,
     "Tracks": TRACKS,
@@ -207,9 +208,9 @@ _ALIAS_DIMS: Dict[str, str] = {
     "Lba": LBA,
     "LogLba": LOG_LBA,
     "DataLba": DATA_LBA,
-}
+})
 
-_WRAPPERS = {"Optional", "Final", "ClassVar"}
+_WRAPPERS = frozenset({"Optional", "Final", "ClassVar"})
 
 
 def annotation_dim(node: Optional[ast.AST]) -> str:

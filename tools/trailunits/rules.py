@@ -42,10 +42,6 @@ REGISTRY = Registry("TUN")
 _LIB_SCOPE: Tuple[str, ...] = ("src/*", "tools/*")
 
 
-def register(rule_class: type) -> type:
-    return REGISTRY.register(rule_class)
-
-
 class _IssueRule(_SharedRule):
     """Base for rules that render a slice of the inference issues."""
 
@@ -67,7 +63,7 @@ class _IssueRule(_SharedRule):
                               self.message(issue))
 
 
-@register
+@REGISTRY.register
 class MixedDimensionArithmetic(_IssueRule):
     """TUN001: two known, incompatible dimensions flow together."""
 
@@ -88,7 +84,7 @@ class MixedDimensionArithmetic(_IssueRule):
                 f"{issue.target_dim} ({issue.detail})")
 
 
-@register
+@REGISTRY.register
 class MixedDimensionComparison(_IssueRule):
     """TUN002: values of different dimensions compared directly."""
 
@@ -103,7 +99,7 @@ class MixedDimensionComparison(_IssueRule):
                 f"compared with {issue.target_dim}")
 
 
-@register
+@REGISTRY.register
 class BytesSectorsConfusion(_IssueRule):
     """TUN003: byte counts and sector counts mixed unconverted.
 
@@ -126,7 +122,7 @@ class BytesSectorsConfusion(_IssueRule):
                 f"units.sectors_for")
 
 
-@register
+@REGISTRY.register
 class TimeScaleConfusion(_IssueRule):
     """TUN004: milliseconds and seconds (or us) mixed unconverted.
 
@@ -146,7 +142,7 @@ class TimeScaleConfusion(_IssueRule):
                 f"convert with units.seconds/to_seconds/microseconds")
 
 
-@register
+@REGISTRY.register
 class LogLbaIntoDataContext(_IssueRule):
     """TUN005: a log-disk address reaches a data-disk API.
 
@@ -166,7 +162,7 @@ class LogLbaIntoDataContext(_IssueRule):
                 f"data-disk context ({issue.detail})")
 
 
-@register
+@REGISTRY.register
 class DataLbaIntoLogContext(_IssueRule):
     """TUN006: a data-disk address reaches a log-disk API."""
 
@@ -180,7 +176,7 @@ class DataLbaIntoLogContext(_IssueRule):
                 f"a log-disk context ({issue.detail})")
 
 
-@register
+@REGISTRY.register
 class RawLiteralArgument(_IssueRule):
     """TUN007: a magic number where a dimensioned quantity is due.
 
@@ -203,7 +199,7 @@ class RawLiteralArgument(_IssueRule):
                 f"helper or a named constant")
 
 
-@register
+@REGISTRY.register
 class UnitlessPublicSignature(_SharedRule):
     """TUN008: core/disk public APIs must declare their dimensions.
 
