@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf perf-smoke profile lint trailsan units iso analyzers sansan test-trailsan test-trailiso typecheck
+.PHONY: test bench perf perf-smoke profile lint trailsan units iso analyzers sansan test-trailsan test-trailiso typecheck trailmc mc
 
 # Tier-1: the full unit/property/integration suite (includes perf-smoke).
 test:
@@ -44,10 +44,30 @@ units:
 iso:
 	$(PYTHON) -m tools.trailiso src tools
 
-# All four repo-native static passes; `sansan` kept as the historical
-# alias.
-analyzers: lint trailsan units iso
+# Static schedule-interference analysis (docs/STATIC_ANALYSIS.md):
+# per-yield-segment footprints over annotated shared state and the
+# segment independence relation consumed by `make mc`.  An extraction
+# pass, not a lint — it has no findings and never fails a clean tree.
+trailmc:
+	$(PYTHON) -m tools.trailmc src
+
+# All four repo-native lint passes over ONE shared parse
+# (tools/analysis/driver.py): identical findings to the individual
+# targets above, but each file is read and parsed once and the report
+# carries per-tool wall-clock.  `sansan` kept as the historical alias.
+analyzers:
+	$(PYTHON) -m tools.analysis
 sansan: analyzers
+
+# Bounded schedule model checking: enumerate same-time dispatch orders
+# and cross-instance interleavings (preemption bound 3, 250 schedules
+# per scenario), assert byte-identical digests + sanitizer invariants
+# on every schedule, then prove the checker still has teeth by
+# requiring it to catch a reintroduced historical tail-chain tear.
+mc:
+	PYTHONPATH=$(PYTHONPATH):. $(PYTHON) -m repro mc
+	PYTHONPATH=$(PYTHONPATH):. $(PYTHON) -m repro mc crash-recovery \
+		--mutate tail-chain-tear --budget 5
 
 # Tier-1 suite under the TRAILSAN=1 runtime sanitizer: atomic groups
 # are value-checked at every context switch.

@@ -7,6 +7,7 @@
     python -m repro profile  <scenario> [--scale 1.0] [--top 20]
     python -m repro faults   <scenario> [--seed 0]
     python -m repro raid-rebuild [--seed 0] [--smoke] [--intensities 4,2,1]
+    python -m repro mc       [scenario ...] [--budget 250] [--bound 3]
 
 Every command builds the paper's simulated testbed, runs the
 experiment, and prints a table.  ``profile`` runs one of the canonical
@@ -287,6 +288,97 @@ def cmd_raid_rebuild(args: argparse.Namespace) -> int:
     return 0 if all_ok else 1
 
 
+def cmd_mc(args: argparse.Namespace) -> int:
+    """Bounded schedule exploration over the model-checked scenarios."""
+    # Imported lazily: pulls in the whole stack plus the explorer.
+    from repro.mc import MUTATIONS, SCENARIOS, explore_scenario
+    from repro.sim.explore import IndependenceOracle
+
+    if args.list:
+        for scenario in SCENARIOS.values():
+            print(f"{scenario.name:18} {scenario.summary} "
+                  f"[{', '.join(scenario.explore)}]")
+        return 0
+
+    names = args.scenarios or list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise SystemExit(f"unknown scenario(s): {', '.join(unknown)} "
+                         f"(try: repro mc --list)")
+
+    oracle = None
+    if not args.no_oracle:
+        # The static analyzer lives in tools/, outside the runtime
+        # package; `make mc` runs with the repo root importable.  The
+        # oracle only prunes — without it the exploration is the same
+        # set of schedules, minus the skipping.
+        try:
+            from tools.trailmc import build_oracle_payload
+        except ImportError:
+            print("mc: tools.trailmc not importable (run with "
+                  "PYTHONPATH=src:. from the repo root); exploring "
+                  "without static pruning", file=sys.stderr)
+        else:
+            oracle = IndependenceOracle.from_segments(
+                build_oracle_payload(("src",)))
+
+    mutation = None
+    if args.mutate:
+        mutation = MUTATIONS.get(args.mutate)
+        if mutation is None:
+            raise SystemExit(
+                f"unknown mutation {args.mutate!r} "
+                f"(known: {', '.join(sorted(MUTATIONS))})")
+
+    rows = []
+    all_ok = True
+    caught = True
+    total_schedules = total_explored = total_naive = 0
+    for name in names:
+        scenario = SCENARIOS[name]
+        if mutation is not None:
+            with mutation():
+                report = explore_scenario(
+                    scenario, oracle=oracle, budget=args.budget,
+                    preemption_bound=args.bound)
+        else:
+            report = explore_scenario(
+                scenario, oracle=oracle, budget=args.budget,
+                preemption_bound=args.bound)
+        stats = report.stats
+        all_ok = all_ok and report.ok
+        caught = caught and not report.ok
+        total_schedules += stats.schedules
+        total_explored += stats.explored_branches
+        total_naive += stats.naive_branches
+        rows.append([
+            name, str(stats.schedules), str(stats.choice_points),
+            f"{stats.explored_branches}/{stats.naive_branches}",
+            f"{stats.pruning_ratio:.2f}x", str(stats.max_preemptions),
+            str(len(report.divergences)), str(len(report.failures)),
+            "ok" if report.ok else "BROKEN",
+        ])
+        for issue in (report.failures + report.divergences)[:3]:
+            what = issue.failure or "digest divergence"
+            print(f"mc: {name} schedule {list(issue.decisions)}: {what}")
+    print(render_table(
+        ["scenario", "schedules", "choice pts", "explored/naive",
+         "pruning", "preempt", "div", "fail", "result"],
+        rows, title="bounded schedule exploration"))
+    overall = (total_naive / total_explored if total_explored else 1.0)
+    print(f"total: {total_schedules} schedules explored, "
+          f"static pruning {overall:.2f}x"
+          + ("" if oracle is not None else " (oracle off)"))
+    if mutation is not None:
+        if caught:
+            print(f"mutation {args.mutate!r} caught by every scenario")
+            return 0
+        print(f"mutation {args.mutate!r} was NOT caught — the "
+              f"checker has lost its teeth")
+        return 1
+    return 0 if all_ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -356,6 +448,23 @@ def build_parser() -> argparse.ArgumentParser:
                            "ms; runs the experiment once per value "
                            "(e.g. 4,2,1)")
     raid.set_defaults(func=cmd_raid_rebuild)
+
+    mc = sub.add_parser("mc", help=cmd_mc.__doc__)
+    mc.add_argument("scenarios", nargs="*",
+                    help="scenario names (default: all; see --list)")
+    mc.add_argument("--budget", type=int, default=250,
+                    help="max schedules to execute per scenario")
+    mc.add_argument("--bound", type=int, default=3,
+                    help="preemption bound (non-default picks per "
+                         "schedule)")
+    mc.add_argument("--no-oracle", action="store_true",
+                    help="skip trailmc static pruning")
+    mc.add_argument("--mutate", default="",
+                    help="run under a seeded mutation and require the "
+                         "explorer to catch it")
+    mc.add_argument("--list", action="store_true",
+                    help="list scenarios and exit")
+    mc.set_defaults(func=cmd_mc)
     return parser
 
 

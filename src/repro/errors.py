@@ -23,6 +23,16 @@ class SanitizerError(SimulationError):
     torn at a context switch (see ``repro.sim.sanitizer``)."""
 
 
+class ExplorationError(SimulationError):
+    """The bounded schedule explorer found a broken schedule.
+
+    Raised by :mod:`repro.sim.explore` when an explored interleaving
+    deadlocks (an awaited event can no longer fire), exceeds its
+    dispatch budget (livelock), or replays nondeterministically
+    (the same decision prefix reached a different choice point).
+    """
+
+
 class DiskError(ReproError):
     """Base class for disk-simulator errors."""
 

@@ -164,9 +164,14 @@ class Raid5Array:
         # by the copier would land stale parity on the spare.  In the
         # cooperative kernel a check-and-set with no yield between test
         # and update is atomic; the TRAILSAN=1 invariant below polices
-        # the mutual exclusion at every context switch.
-        self._stripe_writers: Dict[int, int] = {}
-        self._rebuild_stripe: Optional[int] = None
+        # the mutual exclusion at every context switch.  Both sides of
+        # the gate carry the same atomic_group so trailsan forbids a
+        # yield between test and set, and trailmc's footprint pass sees
+        # every gate touch when deciding segment independence.
+        self._stripe_writers: Dict[int, int] = \
+            {}  # trailsan: atomic_group(raid-stripe-gate)
+        self._rebuild_stripe: Optional[int] = \
+            None  # trailsan: atomic_group(raid-stripe-gate)
         self._stripe_waiters: Dict[int, List[Event]] = {}
         sanitizer = sim.sanitizer
         if sanitizer is not None:

@@ -6,7 +6,11 @@ processes, one-shot events, shared resources with FIFO or priority
 queueing, and measurement probes.
 """
 
+from repro.sim.control import (
+    ControlledReady, DispatchPolicy, SeededShufflePolicy)
 from repro.sim.events import Event, Timeout, Condition, all_of, any_of
+from repro.sim.explore import (
+    Explorer, ExplorationReport, IndependenceOracle, ScheduleController)
 from repro.sim.kernel import Simulation
 from repro.sim.perturb import PerturbedSimulation
 from repro.sim.process import Interrupt, Process, ProcessGenerator
@@ -18,8 +22,13 @@ from repro.sim.monitor import (
 
 __all__ = [
     "Condition",
+    "ControlledReady",
     "CounterSet",
+    "DispatchPolicy",
     "Event",
+    "ExplorationReport",
+    "Explorer",
+    "IndependenceOracle",
     "Interrupt",
     "LatencyRecorder",
     "PerturbedSimulation",
@@ -29,6 +38,8 @@ __all__ = [
     "ProcessGenerator",
     "Request",
     "Resource",
+    "ScheduleController",
+    "SeededShufflePolicy",
     "Simulation",
     "Store",
     "Timeout",

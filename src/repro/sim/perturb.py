@@ -5,16 +5,14 @@ Correct components must not *depend* on that tie-break: any total
 order consistent with simulated time is a legal cooperative schedule,
 and state that survives every such order is what the trailsan
 annotations promise.  :class:`PerturbedSimulation` makes the promise
-testable: it replaces the immediate-event FIFO with a heap whose
-same-time ordering is keyed by a **seeded** RNG draw, so each seed
-explores a different (but reproducible) interleaving of same-time
-events while cross-time ordering stays exact.
+testable: it installs a :class:`~repro.sim.control.SeededShufflePolicy`
+on the shared :class:`~repro.sim.control.ControlledReady` hook, so
+each seed explores a different (but reproducible) interleaving of
+same-time events while cross-time ordering stays exact.
 
-``Event.succeed``/``fail`` and zero-delay timeouts append to
-``sim._ready`` directly (the inlined hot path), so the perturbation
-wraps the queue object itself rather than hooking ``_schedule_event``
-— every immediate event goes through the shuffled heap no matter
-which code path scheduled it.
+The same hook drives the bounded schedule explorer
+(:mod:`repro.sim.explore`); perturbation is simply the "random walk"
+policy where the explorer is the "systematic enumeration" one.
 
 Use it exactly like :class:`~repro.sim.kernel.Simulation`::
 
@@ -27,51 +25,11 @@ Same seed, same schedule; different seed, different same-time order.
 
 from __future__ import annotations
 
-from heapq import heappop, heappush
 from random import Random
-from typing import Deque, List, Tuple, cast
+from typing import Deque, cast
 
-from repro.sim.events import Event
+from repro.sim.control import ControlledReady, Entry, SeededShufflePolicy
 from repro.sim.kernel import Simulation
-
-_Entry = Tuple[float, int, Event]
-
-
-class _PerturbedReady:
-    """Drop-in for the kernel's ready deque with shuffled tie-breaks.
-
-    Internally a heap keyed ``(when, draw, arrival, event)`` where
-    ``draw`` is a seeded RNG sample: events at different times keep
-    their time order, events at the same time pop in seeded-random
-    order.  ``arrival`` breaks draw collisions deterministically.
-    Only the deque operations the kernel uses are provided (truth
-    value, ``[0]``, ``append``, ``popleft``).
-    """
-
-    __slots__ = ("_heap", "_rng", "_arrivals")
-
-    def __init__(self, rng: Random) -> None:
-        self._heap: List[Tuple[float, float, int, int, Event]] = []
-        self._rng = rng
-        self._arrivals = 0
-
-    def append(self, item: _Entry) -> None:
-        when, sequence, event = item
-        self._arrivals += 1
-        heappush(self._heap,
-                 (when, self._rng.random(), self._arrivals, sequence,
-                  event))
-
-    def popleft(self) -> _Entry:
-        when, _draw, _arrival, sequence, event = heappop(self._heap)
-        return when, sequence, event
-
-    def __getitem__(self, index: int) -> _Entry:
-        when, _draw, _arrival, sequence, event = self._heap[index]
-        return when, sequence, event
-
-    def __len__(self) -> int:
-        return len(self._heap)
 
 
 class PerturbedSimulation(Simulation):
@@ -80,6 +38,8 @@ class PerturbedSimulation(Simulation):
     def __init__(self, seed: int, start_time: float = 0.0) -> None:
         super().__init__(start_time)
         self.seed = seed
-        # The kernel only uses the deque subset _PerturbedReady
+        # The kernel only uses the deque subset ControlledReady
         # provides; the cast keeps the hot loop's declared type intact.
-        self._ready = cast("Deque[_Entry]", _PerturbedReady(Random(seed)))
+        self._ready = cast(
+            "Deque[Entry]",
+            ControlledReady(SeededShufflePolicy(Random(seed))))

@@ -1,0 +1,105 @@
+"""The single-pass analyzer driver behind ``make analyzers``.
+
+The driver must be a pure re-plumbing of the standalone tools: same
+path scopes, same excludes, same findings — just one parse.  These
+tests pin the scoping and error-wrapping seams on a synthetic tree;
+the equivalence over the real repo is CI's ``make analyzers`` run
+(same ``check_file`` code path as the four individual targets).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.analysis.driver import main, run_all  # noqa: E402
+
+CLEAN = "def helper(value):\n    return value + 1\n"
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """A miniature repo shaped like the real scopes expect."""
+    for rel, body in {
+        "src/repro/clean.py": CLEAN,
+        "tests/test_clean.py": CLEAN,
+        "tools/helper.py": CLEAN,
+    }.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(body, encoding="utf-8")
+    return tmp_path
+
+
+class TestRunAll:
+    def test_clean_tree_is_clean_everywhere(self, tree):
+        report = run_all(root=str(tree))
+        assert report.findings == 0
+        assert report.files_parsed == 3
+        assert [run.name for run in report.runs] == [
+            "trailint", "trailsan", "trailunits", "trailiso"]
+        assert all(run.seconds >= 0 for run in report.runs)
+
+    def test_each_tool_sees_only_its_path_scope(self, tree):
+        report = run_all(root=str(tree))
+        checked = {run.name: run.files_checked for run in report.runs}
+        # trailint covers src+tests+tools; the others skip tests/.
+        assert checked["trailint"] == 3
+        assert checked["trailsan"] == 2
+        assert checked["trailunits"] == 2
+        assert checked["trailiso"] == 2
+
+    def test_findings_carry_the_owning_tool(self, tree):
+        (tree / "src/repro/noisy.py").write_text(
+            "def report(value):\n    print(value)\n", encoding="utf-8")
+        report = run_all(root=str(tree))
+        by_tool = {run.name: [f.code for f in run.findings]
+                   for run in report.runs}
+        assert "TRL010" in by_tool["trailint"]
+        assert not by_tool["trailsan"]
+
+    def test_parse_errors_wrap_under_each_tools_code(self, tree):
+        (tree / "src/repro/broken.py").write_text(
+            "def broken(:\n", encoding="utf-8")
+        report = run_all(root=str(tree))
+        codes = {run.name: {f.code for f in run.findings}
+                 for run in report.runs}
+        assert "TRL000" in codes["trailint"]
+        assert "TSN000" in codes["trailsan"]
+        assert "TUN000" in codes["trailunits"]
+        assert "TIS000" in codes["trailiso"]
+
+    def test_explicit_paths_override_every_scope(self, tree):
+        report = run_all(root=str(tree), paths=["tests"])
+        assert all(run.files_checked == 1 for run in report.runs)
+
+
+class TestCli:
+    def test_clean_exit_and_timing_report(self, tree, capsys):
+        assert main(["--root", str(tree)]) == 0
+        out = capsys.readouterr().out
+        assert "parsed 3 files once" in out
+        assert "4 tools clean" in out
+
+    def test_findings_exit_one_with_json(self, tree, capsys):
+        (tree / "src/repro/noisy.py").write_text(
+            "def report(value):\n    print(value)\n", encoding="utf-8")
+        assert main(["--json", "--root", str(tree)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_parsed"] == 4
+        trailint = payload["tools"]["trailint"]
+        assert trailint["findings"][0]["code"] == "TRL010"
+        assert set(payload["tools"]) == {
+            "trailint", "trailsan", "trailunits", "trailiso"}
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        assert main(["--root", str(tmp_path)]) == 2
+        assert "analyzers" in capsys.readouterr().err

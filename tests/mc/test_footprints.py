@@ -1,0 +1,299 @@
+"""The trailmc static pass: segment footprints and independence.
+
+trailmc has no findings — it extracts a model — so these tests pin
+the *shape* of that model instead of rule fixtures: where segments
+anchor (the exact line a parked generator frame reports), which
+annotated attributes land in which segment's read/write sets, when a
+segment is allowed to ``escape``, and that the static commutativity
+test agrees with the runtime oracle it feeds.  The real ``src`` tree
+is analyzed at the end as an integration anchor: the annotated state
+the other analyzers rely on (driver tail-chain, raid stripe gate)
+must be visible to the footprint pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+if str(ROOT) not in sys.path:
+    sys.path.insert(0, str(ROOT))
+
+from tools.trailmc import (  # noqa: E402
+    Segment, build_oracle_payload, collect, commutes, delegated_targets,
+    independence_stats, main, merge_segments, module_segments,
+    oracle_payload, refine_escapes)
+
+from repro.sim.explore import IndependenceOracle  # noqa: E402
+
+
+def segments_of(source: str, relpath: str = "fx.py"):
+    source = textwrap.dedent(source)
+    tree = ast.parse(source)
+    return module_segments(relpath, tree, source), tree
+
+
+COUNTER = """
+    class Counter:
+        def __init__(self):
+            self.a = 0  # trailsan: atomic_group(pair)
+            self.b = 0  # trailsan: atomic_group(pair)
+            self.plain = 0
+
+        def bump(self):
+            self.a += 1
+            self.b += 1
+            yield "first"
+            value = self.a
+            yield "second"
+            return value
+"""
+
+
+class TestSegmentation:
+    def test_segments_split_at_yields(self):
+        segments, _ = segments_of(COUNTER)
+        bump = [s for s in segments if s.function == "fx.py:Counter.bump"]
+        assert [s.index for s in bump] == [0, 1, 2]
+
+    def test_entry_segment_anchors_at_def_line(self):
+        segments, _ = segments_of(COUNTER)
+        entry = next(s for s in segments if s.index == 0)
+        # ``def bump`` is line 8 of the dedented fixture.
+        assert entry.key == ("fx.py", "Counter.bump", 8)
+
+    def test_later_segments_anchor_at_their_yield(self):
+        segments, _ = segments_of(COUNTER)
+        keys = {s.index: s.key[2] for s in segments}
+        assert keys[1] == 11  # yield "first"
+        assert keys[2] == 13  # yield "second"
+
+    def test_decorated_entry_anchors_at_first_decorator(self):
+        segments, _ = segments_of("""
+            class C:
+                @property
+                @staticmethod
+                def gen(self):
+                    yield 1
+        """)
+        entry = next(s for s in segments if s.index == 0)
+        # An unstarted generator frame reports co_firstlineno, which
+        # for a decorated function is the first decorator's line.
+        assert entry.key[2] == 3
+
+    def test_footprints_cover_only_annotated_state(self):
+        segments, _ = segments_of(COUNTER)
+        entry = next(s for s in segments if s.index == 0)
+        middle = next(s for s in segments if s.index == 1)
+        assert entry.writes == {"Counter.a", "Counter.b"}
+        assert middle.reads == {"Counter.a"}
+        assert not middle.writes
+        # ``plain`` has no annotation: invisible to the footprint.
+        assert all("plain" not in name
+                   for s in segments for name in s.reads | s.writes)
+
+    def test_attribute_names_qualified_by_class(self):
+        segments, _ = segments_of("""
+            class A:
+                def __init__(self):
+                    self.x = 0  # trailsan: guarded_by(lock)
+
+                def gen(self):
+                    self.x = 1
+                    yield 1
+
+            class B:
+                def __init__(self):
+                    self.x = 0  # trailsan: guarded_by(lock)
+
+                def gen(self):
+                    self.x = 2
+                    yield 1
+        """)
+        writes = {name for s in segments for name in s.writes}
+        assert writes == {"A.x", "B.x"}
+
+
+class TestEscapes:
+    def test_final_segment_escapes_conservatively(self):
+        segments, _ = segments_of(COUNTER)
+        flags = {s.index: s.escapes for s in segments}
+        assert flags == {0: False, 1: False, 2: True}
+
+    def test_mid_function_return_marks_its_segment(self):
+        segments, _ = segments_of("""
+            def gen(flag):
+                yield 1
+                if flag:
+                    return
+                yield 2
+                yield 3
+        """)
+        flags = {s.index: s.escapes for s in segments}
+        assert flags[1]          # holds the early return
+        assert not flags[0]
+        assert not flags[2]
+        assert flags[3]          # final segment
+
+    def test_refine_clears_never_delegated_functions(self):
+        segments, tree = segments_of("""
+            def helper():
+                yield 1
+
+            def driver_proc():
+                yield from helper()
+        """)
+        delegated = delegated_targets(tree)
+        assert delegated == {"helper"}
+        refine_escapes(segments, delegated)
+        final = {s.function: s.escapes for s in segments
+                 if s.index == 1}
+        # helper's return resumes driver_proc inside the same
+        # dispatch; driver_proc's return only completes a Process.
+        assert final["fx.py:helper"]
+        assert not final["fx.py:driver_proc"]
+
+    def test_unresolvable_delegation_keeps_everything(self):
+        segments, tree = segments_of("""
+            def gen(table):
+                yield from table[0]()
+        """)
+        delegated = delegated_targets(tree)
+        assert "*" in delegated
+        refine_escapes(segments, delegated)
+        assert all(s.escapes for s in segments if s.index == 1)
+
+
+class TestMergeAndCommute:
+    @staticmethod
+    def seg(key=("f", "g", 1), **kw) -> Segment:
+        defaults = dict(function="f:g", index=0)
+        defaults.update(kw)
+        return Segment(key=key, **defaults)
+
+    def test_merge_is_conservative(self):
+        merged = merge_segments([
+            self.seg(reads={"C.a"}, locks={"C.a": "lock"}),
+            self.seg(writes={"C.b"}, locks={"C.a": "other"},
+                     escapes=True),
+        ])
+        seg = merged[("f", "g", 1)]
+        assert seg.reads == {"C.a"} and seg.writes == {"C.b"}
+        assert seg.locks == {}   # disagreeing locks intersect away
+        assert seg.escapes
+
+    def test_disjoint_footprints_commute(self):
+        a = self.seg(writes={"C.a"})
+        b = self.seg(key=("f", "h", 2), reads={"C.b"})
+        assert commutes(a, b)
+
+    def test_write_read_overlap_conflicts(self):
+        a = self.seg(writes={"C.a"})
+        b = self.seg(key=("f", "h", 2), reads={"C.a"})
+        assert not commutes(a, b)
+
+    def test_common_lock_restores_commutativity(self):
+        a = self.seg(writes={"C.a"}, locks={"C.a": "lock"})
+        b = self.seg(key=("f", "h", 2), reads={"C.a"},
+                     locks={"C.a": "lock"})
+        assert commutes(a, b)
+        b.locks["C.a"] = "other"
+        assert not commutes(a, b)
+
+    def test_escaping_segment_conflicts_with_everything(self):
+        a = self.seg(escapes=True)
+        b = self.seg(key=("f", "h", 2))
+        assert not commutes(a, b)
+
+    def test_static_and_runtime_tests_agree(self):
+        a = self.seg(writes={"C.a"}, reads={"C.b"})
+        b = self.seg(key=("f", "h", 2), writes={"C.b"})
+        payload = oracle_payload(merge_segments([a, b]))
+        oracle = IndependenceOracle.from_segments(payload)
+        assert oracle.commutes((a.key,), (a.key,)) == commutes(a, a)
+        assert oracle.commutes((a.key,), (b.key,)) == commutes(a, b)
+
+
+class TestEngine:
+    def test_collect_skips_unparsable_files(self, tmp_path, capsys):
+        (tmp_path / "good.py").write_text(
+            "def gen():\n    yield 1\n", encoding="utf-8")
+        (tmp_path / "bad.py").write_text(
+            "def broken(:\n", encoding="utf-8")
+        merged = collect(["."], root=str(tmp_path))
+        assert any(key[0] == "good.py" for key in merged)
+        assert "skipping" in capsys.readouterr().err
+
+    def test_independence_stats_count_every_pair_once(self):
+        merged = merge_segments([
+            Segment(key=("f", "g", 1), function="f:g", index=0),
+            Segment(key=("f", "g", 2), function="f:g", index=1,
+                    writes={"C.a"}),
+            Segment(key=("f", "g", 3), function="f:g", index=2,
+                    reads={"C.a"}),
+        ])
+        stats = independence_stats(merged)
+        assert stats == {"pairs": 3, "commuting": 2, "conflicting": 1}
+
+    def test_cli_json_roundtrip(self, tmp_path, capsys):
+        (tmp_path / "mod.py").write_text(textwrap.dedent("""
+            class C:
+                def __init__(self):
+                    self.a = 0  # trailsan: atomic_group(g)
+                    self.b = 0  # trailsan: atomic_group(g)
+
+                def gen(self):
+                    self.a += 1
+                    self.b += 1
+                    yield 1
+        """), encoding="utf-8")
+        assert main(["--json", "--root", str(tmp_path), "."]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "trailmc"
+        seg = payload["segments"]["mod.py:C.gen:7"]
+        assert seg["writes"] == ["C.a", "C.b"]
+        assert payload["independence"]["pairs"] == 1
+
+    def test_cli_missing_path_is_usage_error(self, capsys):
+        assert main(["definitely/not/a/path.py"]) == 2
+        assert "trailmc" in capsys.readouterr().err
+
+
+class TestRealTree:
+    """The committed annotations must be visible to the pass."""
+
+    @pytest.fixture(scope="class")
+    def src_payload(self):
+        return build_oracle_payload(["src"], root=str(ROOT))
+
+    def test_driver_tail_chain_is_tracked(self, src_payload):
+        writes = {name for raw in src_payload.values()
+                  for name in raw["writes"]}
+        assert "TrailDriver._live_records" in writes
+        assert "TrailDriver._last_record_lba" in writes
+
+    def test_raid_stripe_gate_is_tracked(self, src_payload):
+        touched = {name for raw in src_payload.values()
+                   for name in list(raw["reads"]) + list(raw["writes"])}
+        assert "Raid5Array._stripe_writers" in touched
+        assert "Raid5Array._rebuild_stripe" in touched
+
+    def test_rebuild_checkpoint_is_tracked(self, src_payload):
+        writes = {name for raw in src_payload.values()
+                  for name in raw["writes"]}
+        assert "RebuildEngine._next_stripe" in writes
+        assert "RebuildEngine.stripes_rebuilt" in writes
+
+    def test_some_pairs_commute_after_refinement(self, src_payload):
+        oracle = IndependenceOracle.from_segments(src_payload)
+        assert len(oracle) > 100
+        stats = independence_stats(collect(["src"], root=str(ROOT)))
+        # The whole point of the pass: a usable share of segment
+        # pairs provably commute (escape refinement keeps this high).
+        assert stats["commuting"] > stats["pairs"] // 3

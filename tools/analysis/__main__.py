@@ -1,0 +1,15 @@
+"""Command-line entry point: ``python -m tools.analysis [paths...]``.
+
+Runs every repo-native analyzer over one shared parse (the
+``make analyzers`` backend).  Exit codes: 0 clean, 1 findings
+reported, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from tools.analysis.driver import main
+
+if __name__ == "__main__":
+    sys.exit(main())

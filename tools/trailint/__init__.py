@@ -26,10 +26,10 @@ TRL009 keeps the suppressions themselves honest (unknown or unused
 codes are findings too).
 """
 
-import trailint.rules  # noqa: F401  (rule modules populate REGISTRY)
-from trailint.engine import (
+from . import rules as _rules  # noqa: F401  (rule modules populate REGISTRY)
+from .engine import (
     DEFAULT_EXCLUDE_PATTERNS, Finding, LintConfig, lint_file, run_paths)
-from trailint.registry import REGISTRY, Rule
+from .registry import REGISTRY, Rule
 
 __version__ = "0.1.0"
 

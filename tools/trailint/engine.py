@@ -18,7 +18,7 @@ from tools.analysis.engine import (
 from tools.analysis.engine import run_paths as _shared_run_paths
 from tools.analysis.findings import Finding
 
-from trailint.registry import REGISTRY, Rule
+from .registry import REGISTRY, Rule
 
 __all__ = [
     "DEFAULT_EXCLUDE_PATTERNS", "FileContext", "Finding", "LintConfig",

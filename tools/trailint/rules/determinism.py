@@ -13,8 +13,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator, List, Set, Tuple
 
-from trailint.engine import FileContext, Finding
-from trailint.registry import REGISTRY, Rule, dotted_name
+from ..engine import FileContext, Finding
+from ..registry import REGISTRY, Rule, dotted_name
 
 #: ``time`` module functions that read the host clock.
 _CLOCK_FNS = frozenset({

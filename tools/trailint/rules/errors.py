@@ -15,8 +15,8 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
-from trailint.engine import FileContext, Finding
-from trailint.registry import REGISTRY, Rule, dotted_name
+from ..engine import FileContext, Finding
+from ..registry import REGISTRY, Rule, dotted_name
 
 _BROAD = frozenset({"Exception", "BaseException"})
 

@@ -14,9 +14,9 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set
 
-from trailint.engine import FileContext, Finding
-from trailint.registry import REGISTRY, Rule, dotted_name
-from trailint.rules.determinism import _from_imports
+from ..engine import FileContext, Finding
+from ..registry import REGISTRY, Rule, dotted_name
+from .determinism import _from_imports
 
 #: The names whose *construction* is core/format.py's monopoly.
 _MARKER_NAMES = frozenset({"HEADER_FIRST_BYTE", "PAYLOAD_FIRST_BYTE"})

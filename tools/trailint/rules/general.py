@@ -9,8 +9,8 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, Set, Union
 
-from trailint.engine import FileContext, Finding
-from trailint.registry import REGISTRY, Rule, dotted_name
+from ..engine import FileContext, Finding
+from ..registry import REGISTRY, Rule, dotted_name
 
 _MUTABLE_CALLS = frozenset({
     "list", "dict", "set", "bytearray", "defaultdict", "deque",

@@ -176,7 +176,9 @@ class AmbientSingletonRead(Rule):
     Seeded ``random.Random`` instances and simulated time are the
     replacements; environment flags live behind the sanitizer
     perimeter (``repro.sim.sanitizer``), wall-clock measurement
-    behind the perf harness (``repro.analysis.perf``).
+    behind the perf harness (``repro.analysis.perf``) and the
+    analyzer driver's per-tool timing report
+    (``tools.analysis.driver``).
     """
 
     code = "TIS004"
@@ -184,7 +186,8 @@ class AmbientSingletonRead(Rule):
     summary = ("random.*/time.*/os.environ read outside the "
                "allowlisted perimeter")
     exempt = ("src/repro/sim/sanitizer.py",
-              "src/repro/analysis/perf.py")
+              "src/repro/analysis/perf.py",
+              "tools/analysis/driver.py")
 
     def check(self, ctx: "IsoContext") -> Iterator["Finding"]:
         for node, what in ctx.model().ambient:

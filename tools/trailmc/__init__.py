@@ -1,0 +1,28 @@
+"""trailmc — static schedule-interference analysis for Trail.
+
+The static half of the bounded model checker: reuses trailsan's
+yield-segmented generator CFGs to compute per-segment read/write
+footprints over ``guarded_by``/``atomic_group``-annotated shared
+state, and emits the segment independence relation the dynamic
+explorer (:mod:`repro.sim.explore`) uses to prune commuting
+interleavings.  Not a lint pass: it produces a model, not findings.
+
+Run it standalone::
+
+    python -m tools.trailmc src --json
+
+or let ``repro mc`` / ``make mc`` consume it in-process via
+:func:`tools.trailmc.engine.build_oracle_payload`.
+"""
+
+from tools.trailmc.engine import (
+    build_oracle_payload, collect, independence_stats, main)
+from tools.trailmc.footprints import (
+    SegKey, Segment, commutes, delegated_targets, merge_segments,
+    module_segments, oracle_payload, refine_escapes)
+
+__all__ = [
+    "SegKey", "Segment", "build_oracle_payload", "collect", "commutes",
+    "delegated_targets", "independence_stats", "main", "merge_segments",
+    "module_segments", "oracle_payload", "refine_escapes",
+]

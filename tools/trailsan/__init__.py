@@ -15,9 +15,9 @@ sanitizer in ``repro.sim.sanitizer`` (enabled with ``TRAILSAN=1``),
 which checks the same atomic groups at every context switch.
 """
 
-from trailsan.engine import (
+from .engine import (
     Finding, SanConfig, SanContext, analyze_file, run_paths)
-from trailsan.rules import REGISTRY, Rule
+from .rules import REGISTRY, Rule
 
 __all__ = [
     "Finding",

@@ -10,7 +10,7 @@ from typing import List, Optional
 
 from tools.analysis.cli import main as _shared_main
 
-from trailsan.engine import SPEC
+from .engine import SPEC
 
 
 def main(argv: Optional[List[str]] = None) -> int:

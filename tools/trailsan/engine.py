@@ -20,9 +20,9 @@ from tools.analysis.engine import (
 from tools.analysis.engine import run_paths as _shared_run_paths
 from tools.analysis.findings import Finding
 
-from trailsan.model import (
+from .model import (
     ClassModel, FunctionScan, ModuleModel, build_module_model)
-from trailsan.rules import REGISTRY, Rule
+from .rules import REGISTRY, Rule
 
 __all__ = [
     "DEFAULT_EXCLUDE_PATTERNS", "Finding", "SPEC", "SanConfig",
@@ -102,7 +102,7 @@ class TrailsanSpec(ToolSpec):
     config_class = SanConfig
 
     def load_rules(self) -> None:
-        import trailsan.rules  # noqa: F401  (populates the registry)
+        from . import rules as _rules  # noqa: F401  (populates the registry)
 
     def make_context(self, parsed: ParsedFile,
                      shared: object) -> SanContext:

@@ -21,10 +21,10 @@ from typing import (
 from tools.analysis.registry import Registry
 from tools.analysis.registry import Rule as _SharedRule
 
-from trailsan.model import FunctionScan, Touch
+from .model import FunctionScan, Touch
 
 if TYPE_CHECKING:
-    from trailsan.engine import Finding, SanContext
+    from .engine import Finding, SanContext
 
 
 class Rule(_SharedRule):
