@@ -1,7 +1,7 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test bench perf perf-smoke profile lint trailsan units iso analyzers sansan test-trailsan test-trailiso typecheck trailmc mc
+.PHONY: test bench perf perf-smoke profile lint trailsan units iso trailhot analyzers sansan test-trailsan test-trailiso test-trailhot typecheck trailmc mc
 
 # Tier-1: the full unit/property/integration suite (includes perf-smoke).
 test:
@@ -44,6 +44,14 @@ units:
 iso:
 	$(PYTHON) -m tools.trailiso src tools
 
+# Hot-region allocation & complexity analysis (docs/STATIC_ANALYSIS.md):
+# per-iteration container/closure churn, slotless instantiation,
+# repeated lookups, accidental quadratics, THP001-THP008 plus THP000
+# annotation hygiene — seeded from `# trailhot: hot` annotations on
+# the dispatch/WAL/lock/buffer/encode paths, over src/.
+trailhot:
+	$(PYTHON) -m tools.trailhot src
+
 # Static schedule-interference analysis (docs/STATIC_ANALYSIS.md):
 # per-yield-segment footprints over annotated shared state and the
 # segment independence relation consumed by `make mc`.  An extraction
@@ -51,10 +59,11 @@ iso:
 trailmc:
 	$(PYTHON) -m tools.trailmc src
 
-# All four repo-native lint passes over ONE shared parse
+# All five repo-native lint passes over ONE shared parse
 # (tools/analysis/driver.py): identical findings to the individual
 # targets above, but each file is read and parsed once and the report
-# carries per-tool wall-clock.  `sansan` kept as the historical alias.
+# carries per-tool wall-clock plus the reparse time the single pass
+# saved.  `sansan` kept as the historical alias.
 analyzers:
 	$(PYTHON) -m tools.analysis
 sansan: analyzers
@@ -78,6 +87,12 @@ test-trailsan:
 # multi-instance matrix widens (tests/integration/test_two_instances).
 test-trailiso:
 	TRAILISO=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# Perf suite under the TRAILHOT=1 runtime twin: per-scenario
+# allocation budgets (Python calls + peak traced bytes) are measured
+# and gated against benchmarks/perf/BENCH_alloc.json.
+test-trailhot:
+	TRAILHOT=1 PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest tests/perf -q
 
 # Strict typing over the paper-critical packages (mypy.ini).  mypy is a
 # CI dependency, not a vendored one: when it is absent locally the

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis import (
     build_lfs_system, build_standard_system, build_trail_system,
@@ -152,9 +152,32 @@ def _hotspot_rows(stats, sort: str, top: int) -> List[List]:
     return rows
 
 
+def _alloc_rows(scenario: str, scale: float, top: int) -> List[List]:
+    """Top-N allocation sites of one scenario run (tracemalloc)."""
+    import tracemalloc
+
+    from repro.analysis.perf import SCENARIOS
+
+    func = SCENARIOS[scenario]
+    tracemalloc.start(10)
+    try:
+        func(scale)
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    rows: List[List] = []
+    for stat in snapshot.statistics("lineno")[:top]:
+        frame = stat.traceback[0]
+        short = "/".join(frame.filename.split("/")[-2:])
+        rows.append([round(stat.size / 1024, 1), stat.count,
+                     f"{short}:{frame.lineno}"])
+    return rows
+
+
 def cmd_profile(args: argparse.Namespace) -> int:
     """Profile a canonical perf scenario (cProfile, top-N hotspot table)."""
     import cProfile
+    import json
     import pstats
 
     from repro.analysis.perf import SCENARIOS, run_scenario
@@ -167,14 +190,43 @@ def cmd_profile(args: argparse.Namespace) -> int:
     profiler.enable()
     result = run_scenario(args.scenario, args.scale)
     profiler.disable()
-    print(f"{args.scenario}: {result.ops} ops in {result.wall_s:.3f} s "
-          f"({result.ops_per_sec:,.0f} ops/s, under profiler)\n")
     stats = pstats.Stats(profiler)
     rows = _hotspot_rows(stats, args.sort, args.top)
+    alloc_rows = (_alloc_rows(args.scenario, args.scale, args.top)
+                  if args.alloc else None)
+    if args.json:
+        payload: Dict[str, Any] = {
+            "scenario": args.scenario,
+            "scale": args.scale,
+            "ops": result.ops,
+            "wall_s": round(result.wall_s, 4),
+            "ops_per_sec": round(result.ops_per_sec, 2),
+            "sort": args.sort,
+            "hotspots": [
+                {"cum_ms": cum, "tot_ms": tot, "ncalls": ncalls,
+                 "function": where}
+                for cum, tot, ncalls, where in rows
+            ],
+        }
+        if alloc_rows is not None:
+            payload["allocations"] = [
+                {"size_kb": size_kb, "blocks": count, "site": site}
+                for size_kb, count, site in alloc_rows
+            ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.scenario}: {result.ops} ops in {result.wall_s:.3f} s "
+          f"({result.ops_per_sec:,.0f} ops/s, under profiler)\n")
     print(render_table(
         ["cum (ms)", "tot (ms)", "calls", "function"], rows,
         title=(f"top {len(rows)} by {args.sort} — "
                f"{args.scenario} @ scale {args.scale}")))
+    if alloc_rows is not None:
+        print()
+        print(render_table(
+            ["size (KiB)", "blocks", "allocation site"], alloc_rows,
+            title=(f"top {len(alloc_rows)} allocation sites "
+                   f"(tracemalloc, separate run)")))
     return 0
 
 
@@ -427,6 +479,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--sort", choices=["cumulative", "tottime"],
                          default="cumulative",
                          help="stat ordering (default: cumulative)")
+    profile.add_argument("--json", action="store_true",
+                         help="emit the report as JSON instead of tables")
+    profile.add_argument("--alloc", action="store_true",
+                         help="also report top allocation sites "
+                              "(tracemalloc, adds a second run)")
     profile.set_defaults(func=cmd_profile)
 
     faults = sub.add_parser("faults", help=cmd_faults.__doc__)

@@ -186,8 +186,9 @@ class BufferManager:
             self._pages[key] = page
             self._by_disk.setdefault(disk_id, {})[key] = page
             cover = self._cover.setdefault(disk_id, {})
+            cover_get = cover.get
             for sector in range(lba, lba + nsectors):
-                cover[sector] = cover.get(sector, 0) + 1
+                cover[sector] = cover_get(sector, 0) + 1
             self.pinned_bytes += len(data)
         else:
             # Re-pinning may change the byte length within the same
@@ -226,8 +227,11 @@ class BufferManager:
         """
         if self._pages.get(page.key) is not page:
             raise TrailError(f"committed() for unknown page {page.key}")
-        remaining: List[Tuple[LiveRecord, int]] = []
-        for record, logged_version in page.references:
+        # In the common case every reference releases; reuse the list in
+        # place and only allocate ``remaining`` when something survives.
+        references = page.references
+        remaining: Optional[List[Tuple[LiveRecord, int]]] = None
+        for record, logged_version in references:
             if logged_version <= version:
                 self._release_reference(record)
                 if logged_version < version:
@@ -235,9 +239,14 @@ class BufferManager:
                     # reached the data disk: the paper's cancelled write.
                     self.writes_cancelled += 1
             else:
+                if remaining is None:
+                    remaining = []
                 remaining.append((record, logged_version))
-        page.references = remaining
-        if not remaining and page.version <= version:
+        if remaining is None:
+            references.clear()
+        else:
+            page.references = remaining
+        if remaining is None and page.version <= version:
             disk_id, lba, nsectors = page.key
             del self._pages[page.key]
             del self._by_disk[disk_id][page.key]

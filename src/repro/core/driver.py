@@ -26,8 +26,9 @@ from repro.core.allocator import TrackAllocator
 from repro.core.buffer import BufferManager, LiveRecord
 from repro.core.config import TrailConfig
 from repro.core.format import (
-    LogDiskHeader, NULL_LBA, decode_disk_header, decode_geometry,
-    encode_disk_header, encode_geometry, encode_record_raw)
+    LogDiskHeader, NULL_LBA, PAYLOAD_FIRST_BYTE, decode_disk_header,
+    decode_geometry, encode_disk_header, encode_geometry,
+    encode_record_stream)
 from repro.core.prediction import HeadPositionPredictor
 from repro.units import LogLba, Ms
 from repro.core.recovery import RecoveryManager, RecoveryReport
@@ -367,7 +368,8 @@ class TrailDriver(BlockDevice):
         sector_size = self.sector_size
         nsectors = (len(data) + sector_size - 1) // sector_size
         disk.geometry.check_extent(lba, nsectors)
-        padded = data + bytes(nsectors * sector_size - len(data))
+        pad = nsectors * sector_size - len(data)
+        padded = data + bytes(pad) if pad else data
         event = self.sim.event()
         request = _PendingWrite(disk_id, lba, padded, nsectors,
                                 self.sim.now, event)
@@ -641,26 +643,35 @@ class TrailDriver(BlockDevice):
             log_head = header_lba
 
         # Flattened (first_data_byte, log_lba, data_lba, major, minor)
-        # tuples straight into encode_record_raw: the BatchEntry /
-        # RecordHeader objects would be discarded right after packing.
+        # tuples plus one contiguous masked-payload buffer, straight
+        # into encode_record_stream: each span is copied with a single
+        # slice assignment and the displaced first bytes are read and
+        # masked by integer indexing, instead of slicing (and later
+        # re-joining) one bytes object per payload sector.
         entries: List[Tuple[int, int, int, int, int]] = []
-        payload_sectors: List[bytes] = []
+        append_entry = entries.append
+        body = bytearray(total * sector_size)
         index = 0
+        pos = 0
         for request, offset, count in spans:
             data = request.data
-            base_lba = request.lba
+            base_lba = request.lba + offset
             disk_id = request.disk_id
-            for sector in range(offset, offset + count):
-                raw = data[sector * sector_size:
-                           (sector + 1) * sector_size]
-                entries.append((raw[0], header_lba + 1 + index,
-                                base_lba + sector, disk_id, 0))
-                payload_sectors.append(raw)
-                index += 1
+            nbytes = count * sector_size
+            start = offset * sector_size
+            body[pos:pos + nbytes] = data[start:start + nbytes]
+            payload_base = header_lba + 1 + index
+            for sector in range(count):
+                at = pos + sector * sector_size
+                append_entry((body[at], payload_base + sector,
+                              base_lba + sector, disk_id, 0))
+                body[at] = PAYLOAD_FIRST_BYTE
+            index += count
+            pos += nbytes
 
-        blob = b"".join(encode_record_raw(
+        blob = encode_record_stream(
             epoch, sequence, self._last_record_lba, log_head,
-            entries, payload_sectors, sector_size))
+            entries, body, sector_size)
 
         try:
             result = yield self.log_drive.write(header_lba, blob)

@@ -202,6 +202,52 @@ def encode_record_raw(
     return [bytes(packed)] + masked
 
 
+# trailhot: hot_callee -- the one-copy encoder behind every log write
+def encode_record_stream(
+    epoch: int,
+    sequence_id: int,
+    prev_sect: int,
+    log_head: int,
+    entries: Sequence[Tuple[int, int, int, int, int]],
+    masked_payload: "bytearray",
+    sector_size: int = SECTOR_SIZE,
+) -> bytes:
+    """Serialize a write record whose payload is already masked.
+
+    ``masked_payload`` holds the batch's payload sectors contiguously
+    with the 0x00 marker already in each sector's first byte (the
+    displaced originals live in ``entries[i][0]``).  Returns the whole
+    record — header sector plus payload — as one ``bytes`` blob,
+    byte-identical to ``b"".join(encode_record_raw(...))`` but without
+    the per-sector slice, concatenation, and CRC calls (CRC-32 chained
+    per sector equals CRC-32 of the concatenation).  The log driver's
+    emit path builds ``masked_payload`` with bulk slice assignments
+    and calls this directly.
+    """
+    if len(masked_payload) != len(entries) * sector_size:
+        raise LogFormatError(
+            f"{len(entries)} entries but {len(masked_payload)} payload "
+            "bytes")
+    if len(entries) > MAX_TRAIL_BATCH:
+        raise LogFormatError(
+            f"batch of {len(entries)} exceeds MAX_TRAIL_BATCH="
+            f"{MAX_TRAIL_BATCH}")
+    crc32 = zlib.crc32
+    crc = crc32(masked_payload)
+    packed = bytearray(sector_size)
+    _FIXED_STRUCT.pack_into(
+        packed, 0, HEADER_FIRST_BYTE, TRAIL_SIGNATURE, epoch,
+        sequence_id, prev_sect, log_head, crc, 0, len(entries))
+    offset = _FIXED_SIZE
+    entry_pack = _ENTRY_STRUCT.pack_into
+    for entry in entries:
+        entry_pack(packed, offset, *entry)
+        offset += _ENTRY_SIZE
+    _CRC_STRUCT.pack_into(packed, _HEADER_CRC_OFFSET, crc32(packed))
+    packed += masked_payload
+    return bytes(packed)
+
+
 def encode_record(
     header: RecordHeader,
     payload_sectors: Sequence[bytes],

@@ -14,7 +14,7 @@ from __future__ import annotations
 import itertools
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, Generator, Optional
+from typing import Dict, Generator, Iterable, Optional
 
 from repro.blockdev import BlockDevice
 from repro.db.locks import LockManager, LockMode
@@ -27,6 +27,10 @@ from repro.sim import Simulation
 _LOG_RECORD_HEADER = struct.Struct("<IHII")
 #: Commit marker appended at transaction commit.
 _COMMIT_MARKER = struct.Struct("<I4s")
+
+#: Returned by the warm record-access paths: ``yield from`` over an
+#: empty tuple suspends nothing and skips the generator frame.
+_NO_EVENTS: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -80,6 +84,7 @@ class Table:
     def extent_sectors(self) -> int:
         return self.page_count * self.page_sectors
 
+    # trailhot: hot_callee -- record-to-LBA mapping, runs per access
     def page_of(self, index: int) -> int:
         """First LBA of the page holding record ``index``."""
         if index < 0 or index >= self.max_rows:
@@ -191,17 +196,35 @@ class TransactionEngine:
         """Start a new transaction."""
         return Transaction(self)
 
+    # trailhot: hot -- per-record read; warm path runs without a frame
     def read_record(self, tx: Transaction, table: Table,
-                    index: int) -> Generator:
-        """S-lock and fetch the record's page (yield from a process).
+                    index: int) -> Iterable:
+        """S-lock and fetch the record's page (``yield from`` the result).
 
         The warm path — uncontended lock, page resident — costs zero
-        kernel events: the lock grant and the pool hit are served
-        synchronously, and the CPU charge is banked on the transaction
-        and slept off in one timeout at the next blocking point.
+        kernel events and returns an *empty iterable* instead of a
+        generator: ``yield from`` over it suspends nothing, so the
+        thousands of warm TPC-C accesses per run skip the generator
+        frame entirely.  Cold accesses return the slow-path generator;
+        its lock probe is re-entrant, so the retry is harmless (one
+        extra counted re-entrant acquisition).
         """
         if not tx.active:
             tx._check_active()
+        if self.locks.try_acquire(tx, (table.table_id, index),
+                                  LockMode.SHARED):
+            if index < 0 or index >= table.max_rows:
+                table.page_of(index)  # raises the range DatabaseError
+            page_lba = table.start_lba \
+                + (index // table.records_per_page) * table.page_sectors
+            if self.pool.try_fetch(table.disk_id, page_lba) is not None:
+                tx.cpu_debt += self.cpu_ms_per_op
+                return _NO_EVENTS
+        return self._read_record_slow(tx, table, index)
+
+    def _read_record_slow(self, tx: Transaction, table: Table,
+                          index: int) -> Generator:
+        """Cold path of :meth:`read_record` (contended lock or miss)."""
         locks = self.locks
         if not locks.try_acquire(tx, (table.table_id, index),
                                  LockMode.SHARED):
@@ -211,26 +234,61 @@ class TransactionEngine:
             yield locks.acquire_slow(tx, (table.table_id, index),
                                      LockMode.SHARED)
         pool = self.pool
-        if pool.try_fetch(table.disk_id, table.page_of(index)) is None:
+        if index < 0 or index >= table.max_rows:
+            table.page_of(index)  # raises the out-of-range DatabaseError
+        page_lba = table.start_lba \
+            + (index // table.records_per_page) * table.page_sectors
+        if pool.try_fetch(table.disk_id, page_lba) is None:
             if tx.cpu_debt:
                 yield self.sim.timeout(tx.cpu_debt)
                 tx.cpu_debt = 0.0
-            yield pool.fetch_miss(table.disk_id, table.page_of(index))
+            yield pool.fetch_miss(table.disk_id, page_lba)
         tx.cpu_debt += self.cpu_ms_per_op
 
+    # trailhot: hot -- per-record update; warm path runs without a frame
     def write_record(self, tx: Transaction, table: Table, index: int,
-                     payload_bytes: Optional[int] = None) -> Generator:
+                     payload_bytes: Optional[int] = None) -> Iterable:
         """X-lock, dirty the record's page, and buffer a log record.
 
         ``payload_bytes`` defaults to the table's record size (a full
         after-image, which is what Berkeley DB logs).  Like
-        :meth:`read_record`, the warm path costs one kernel event; the
-        log record is encoded into the WAL buffer from a cached
-        zero-payload template (preallocated-buffer encode) instead of
-        allocating fresh padding bytes per update.
+        :meth:`read_record`, the warm path (uncontended lock, resident
+        page, unlatched WAL with room) returns an empty iterable so
+        ``yield from`` suspends nothing; the externally visible
+        mutation (CPU debt, log-record count, the transaction's LSN)
+        happens only after every fallible step succeeded, so falling
+        back to the slow generator replays exactly the event schedule
+        the single-generator implementation produced.
         """
         if not tx.active:
             tx._check_active()
+        if self.locks.try_acquire(tx, (table.table_id, index),
+                                  LockMode.EXCLUSIVE):
+            if index < 0 or index >= table.max_rows:
+                table.page_of(index)  # raises the range DatabaseError
+            page_lba = table.start_lba \
+                + (index // table.records_per_page) * table.page_sectors
+            if self.pool.try_fetch(table.disk_id, page_lba,
+                                   dirty=True) is not None:
+                payload = payload_bytes if payload_bytes is not None \
+                    else table.spec.record_bytes
+                if self.log_before_images:
+                    payload *= 2
+                record = self.encode_log_record(
+                    tx.tx_id, table.table_id, index, payload)
+                lsn = self.wal.try_append(record)
+                if lsn is not None:
+                    tx.cpu_debt += self.cpu_ms_per_op
+                    self.stats.log_records += 1
+                    tx.last_lsn = lsn
+                    return _NO_EVENTS
+        return self._write_record_slow(tx, table, index, payload_bytes)
+
+    def _write_record_slow(self, tx: Transaction, table: Table,
+                           index: int,
+                           payload_bytes: Optional[int] = None,
+                           ) -> Generator:
+        """Cold path of :meth:`write_record` (contention/miss/latch)."""
         locks = self.locks
         if not locks.try_acquire(tx, (table.table_id, index),
                                  LockMode.EXCLUSIVE):
@@ -240,13 +298,15 @@ class TransactionEngine:
             yield locks.acquire_slow(tx, (table.table_id, index),
                                      LockMode.EXCLUSIVE)
         pool = self.pool
-        if pool.try_fetch(table.disk_id, table.page_of(index),
-                          dirty=True) is None:
+        if index < 0 or index >= table.max_rows:
+            table.page_of(index)  # raises the out-of-range DatabaseError
+        page_lba = table.start_lba \
+            + (index // table.records_per_page) * table.page_sectors
+        if pool.try_fetch(table.disk_id, page_lba, dirty=True) is None:
             if tx.cpu_debt:
                 yield self.sim.timeout(tx.cpu_debt)
                 tx.cpu_debt = 0.0
-            yield pool.fetch_miss(table.disk_id, table.page_of(index),
-                                  dirty=True)
+            yield pool.fetch_miss(table.disk_id, page_lba, dirty=True)
         tx.cpu_debt += self.cpu_ms_per_op
         payload = payload_bytes if payload_bytes is not None \
             else table.spec.record_bytes
@@ -268,6 +328,7 @@ class TransactionEngine:
             lsn = yield self.wal.append_slow(record)
         tx.last_lsn = lsn
 
+    # trailhot: hot_callee -- WAL record encode behind every update
     def encode_log_record(self, tx_id: int, table_id: int, index: int,
                           payload: int) -> bytes:
         """Encode one update record: header plus ``payload`` zero bytes.
@@ -282,6 +343,7 @@ class TransactionEngine:
         return _LOG_RECORD_HEADER.pack(tx_id, table_id, index,
                                        payload) + zeros
 
+    # trailhot: hot -- runs per transaction commit
     def commit(self, tx: Transaction) -> Generator:
         """Commit: log force per policy; returns the durability event.
 
@@ -315,6 +377,7 @@ class TransactionEngine:
         tx.active = False
         self.locks.release_all(tx)
 
+    # trailhot: hot -- the per-transaction retry driver
     def run_transaction(self, body, max_retries: int = 5) -> Generator:
         """Execute ``body(tx)`` (a generator) with abort/retry.
 
@@ -325,6 +388,7 @@ class TransactionEngine:
         """
         from repro.errors import DeadlockError
         attempts = 0
+        abort = self.abort
         while True:
             attempts += 1
             tx = self.begin()
@@ -333,11 +397,11 @@ class TransactionEngine:
                 durable = yield from self.commit(tx)
                 return durable, attempts
             except DeadlockError:
-                self.abort(tx)
+                abort(tx)
                 if attempts > max_retries:
                     raise
                 # Brief backoff so the other party can finish.
                 yield self.sim.timeout(1.0 * attempts)
             except TransactionAborted:
-                self.abort(tx)
+                abort(tx)
                 raise

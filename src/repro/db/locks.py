@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeadlockError
 from repro.sim import Event, Simulation
@@ -25,12 +25,12 @@ class LockMode(enum.Enum):
     EXCLUSIVE = "X"
 
 
-def _compatible(held: Set[LockMode], requested: LockMode) -> bool:
-    if not held:
-        return True
-    if requested is LockMode.SHARED:
-        return LockMode.EXCLUSIVE not in held
-    return False
+#: Held modes are tracked as an int bitmask per owner (S=1, X=2): the
+#: per-grant compatibility checks become integer ops instead of enum
+#: hashing against per-owner ``set`` objects, and granting allocates
+#: nothing.
+_S_BIT = 1
+_X_BIT = 2
 
 
 @dataclass
@@ -47,9 +47,11 @@ class _LockState:
     __slots__ = ("holders", "queue")
 
     def __init__(self) -> None:
-        #: owner -> set of modes held (S may upgrade to S+X).
-        self.holders: Dict[Any, Set[LockMode]] = {}
-        self.queue: Deque[Tuple[Any, LockMode, Event]] = deque()
+        #: owner -> bitmask of modes held (S may upgrade to S|X).
+        self.holders: Dict[Any, int] = {}
+        #: Waiters, allocated lazily: the uncontended fast path never
+        #: builds a deque.
+        self.queue: Optional[Deque[Tuple[Any, LockMode, Event]]] = None
 
 
 class LockManager:
@@ -63,6 +65,11 @@ class LockManager:
         #: owner -> resources it holds at least one mode on, so that
         #: release_all is O(locks held) instead of O(locks in the table).
         self._held: Dict[Any, Set[Any]] = {}
+        #: Released, empty lock states kept for reuse.  TPC-C touches
+        #: thousands of cold records per run but holds only a handful of
+        #: locks at once; recycling states caps _LockState construction
+        #: at the peak concurrent lock count instead of one per access.
+        self._state_pool: List[_LockState] = []
 
     def acquire(self, owner: Any, resource: Any, mode: LockMode):
         """Acquire ``mode`` on ``resource``; yield the returned event.
@@ -74,13 +81,19 @@ class LockManager:
         every TPC-C record access).  Raises :class:`DeadlockError` on
         timeout when contended.
         """
-        if self._try_grant(owner, resource, mode):
+        if self.try_acquire(owner, resource, mode):
             event = Event(self.sim)
             event.succeed(True)
             return event
         return self.sim.process(self._acquire_slow(owner, resource, mode),
                                 name=f"lock:{resource}")
 
+    def acquire_slow(self, owner: Any, resource: Any, mode: LockMode):
+        """Contended path: queue up and wait (process; may deadlock)."""
+        return self.sim.process(self._acquire_slow(owner, resource, mode),
+                                name=f"lock:{resource}")
+
+    # trailhot: hot -- sync lock grant, runs per TPC-C record access
     def try_acquire(self, owner: Any, resource: Any, mode: LockMode) -> bool:
         """Synchronous fast path: grant without touching the kernel.
 
@@ -90,20 +103,15 @@ class LockManager:
         event/dispatch round trip here is what keeps an uncontended
         TPC-C record access at a single kernel event (its CPU charge).
         """
-        return self._try_grant(owner, resource, mode)
-
-    def acquire_slow(self, owner: Any, resource: Any, mode: LockMode):
-        """Contended path: queue up and wait (process; may deadlock)."""
-        return self.sim.process(self._acquire_slow(owner, resource, mode),
-                                name=f"lock:{resource}")
-
-    def _try_grant(self, owner: Any, resource: Any, mode: LockMode) -> bool:
+        bit = _S_BIT if mode is LockMode.SHARED else _X_BIT
         state = self._locks.get(resource)
         if state is None:
-            # Uncontended cold lock: grant without building mode sets.
-            state = _LockState()
+            # Uncontended cold lock: recycle a released state if one is
+            # available so the grant allocates nothing but dict slots.
+            pool = self._state_pool
+            state = pool.pop() if pool else _LockState()
             self._locks[resource] = state
-            state.holders[owner] = {mode}
+            state.holders[owner] = bit
             held_set = self._held.get(owner)
             if held_set is None:
                 held_set = self._held[owner] = set()
@@ -112,25 +120,26 @@ class LockManager:
             return True
         holders = state.holders
         held = holders.get(owner)
-        if held is not None and (
-                mode in held or (mode is LockMode.SHARED
-                                 and LockMode.EXCLUSIVE in held)):
+        if held is not None and (held & bit or held & _X_BIT):
+            # Already holds the mode, or holds X (sufficient for S).
             self.stats.acquisitions += 1
             return True
         if not state.queue:
-            # Compatibility against the other holders, checked without
-            # materializing their mode-set union.
-            if mode is LockMode.SHARED:
-                compatible = all(
-                    holder == owner or LockMode.EXCLUSIVE not in modes
-                    for holder, modes in holders.items())
+            # Compatibility against the other holders: S needs no other
+            # X holder; X needs no other holder at all.
+            compatible = True
+            if bit == _S_BIT:
+                for holder, mask in holders.items():
+                    if mask & _X_BIT and holder != owner:
+                        compatible = False
+                        break
             else:
-                compatible = all(holder == owner for holder in holders)
+                for holder in holders:
+                    if holder != owner:
+                        compatible = False
+                        break
             if compatible:
-                if held is None:
-                    holders[owner] = {mode}
-                else:
-                    held.add(mode)
+                holders[owner] = bit if held is None else held | bit
                 held_set = self._held.get(owner)
                 if held_set is None:
                     held_set = self._held[owner] = set()
@@ -140,9 +149,15 @@ class LockManager:
         return False
 
     def _acquire_slow(self, owner, resource, mode):
-        state = self._locks.setdefault(resource, _LockState())
+        state = self._locks.get(resource)
+        if state is None:
+            pool = self._state_pool
+            state = pool.pop() if pool else _LockState()
+            self._locks[resource] = state
         self.stats.waits += 1
         grant = self.sim.event()
+        if state.queue is None:
+            state.queue = deque()
         state.queue.append((owner, mode, grant))
         timeout = self.sim.timeout(self.deadlock_timeout_ms)
         requested_at = self.sim.now
@@ -162,6 +177,7 @@ class LockManager:
         self.stats.acquisitions += 1
         return True
 
+    # trailhot: hot -- runs at every transaction commit/abort
     def release_all(self, owner: Any) -> None:
         """Release every lock held by ``owner`` (commit/abort).
 
@@ -182,6 +198,7 @@ class LockManager:
                     self._dispatch(resource, state)
             if not state.holders and not state.queue:
                 del locks[resource]
+                self._state_pool.append(state)
 
     def held_by(self, owner: Any) -> List[Any]:
         """Resources on which ``owner`` currently holds a lock."""
@@ -191,21 +208,40 @@ class LockManager:
         return [resource for resource in self._locks
                 if resource in held_set]
 
+    # trailhot: hot_callee -- wakes waiters on every contended release
     def _dispatch(self, resource: Any, state: _LockState) -> None:
-        """Grant queued requests FIFO while compatible."""
-        while state.queue:
-            owner, mode, grant = state.queue[0]
-            other_modes: Set[LockMode] = set()
-            for holder, modes in state.holders.items():
-                if holder != owner:
-                    other_modes |= modes
-            if not _compatible(other_modes, mode):
+        """Grant queued requests FIFO while compatible.
+
+        Compatibility is checked against the holder bitmasks directly —
+        no per-candidate mode-set union, and granting a queued request
+        is a pure integer update.
+        """
+        exclusive = LockMode.EXCLUSIVE
+        holders = state.holders
+        queue = state.queue
+        all_held = self._held
+        while queue:
+            owner, mode, grant = queue[0]
+            compatible = True
+            if mode is exclusive:
+                for holder in holders:
+                    if holder != owner:
+                        compatible = False
+                        break
+            else:
+                for holder, mask in holders.items():
+                    if mask & _X_BIT and holder != owner:
+                        compatible = False
+                        break
+            if not compatible:
                 break
-            state.queue.popleft()
-            state.holders.setdefault(owner, set()).add(mode)
-            held_set = self._held.get(owner)
+            queue.popleft()
+            bit = _S_BIT if mode is LockMode.SHARED else _X_BIT
+            held = holders.get(owner)
+            holders[owner] = bit if held is None else held | bit
+            held_set = all_held.get(owner)
             if held_set is None:
-                held_set = self._held[owner] = set()
+                held_set = all_held[owner] = set()  # trailhot: disable=THP001 -- first lock this owner holds; one set per owner lifetime
             held_set.add(resource)
             if not grant.triggered:
                 grant.succeed(True)

@@ -120,6 +120,7 @@ class BufferPool:
         """Number of frames currently cached."""
         return len(self._frames)
 
+    # trailhot: hot -- pool hit, runs per TPC-C record access
     def try_fetch(self, disk_id: int, lba: int,
                   dirty: bool = False) -> Optional[_Frame]:
         """Synchronous fast path: return the frame on a cache hit.
@@ -146,6 +147,7 @@ class BufferPool:
         return self.sim.process(self._fetch_miss(disk_id, lba, dirty),
                                 name=f"pool-fetch@{lba}")
 
+    # trailhot: hot -- event-returning page access on the same path
     def fetch(self, disk_id: int, lba: int, dirty: bool = False):
         """Access one page; yield the returned event for the frame.
 
@@ -261,17 +263,26 @@ class BufferPool:
         filled.  One bounds check per extent instead of per page.
         """
         frames = self._frames
-        capacity = self.capacity_pages
         page_sectors = self.page_sectors
+        #: Free-frame budget tracked as a counter: one len() per extent
+        #: rather than one per page (warm-up preloads thousands).
+        room = self.capacity_pages - len(frames)
+        new_frame = _Frame.__new__
         loaded = 0
         lba = start_lba
         for _ in range(page_count):
-            if len(frames) >= capacity:
+            if room <= 0:
                 break
             page_id = (disk_id, lba)
             if page_id not in frames:
-                frames[page_id] = _Frame(page_id, page_sectors)
+                frame = new_frame(_Frame)
+                frame.page_id = page_id
+                frame.nsectors = page_sectors
+                frame.dirty = False
+                frame.pins = 0
+                frames[page_id] = frame
                 loaded += 1
+                room -= 1
             lba += page_sectors
         return loaded
 

@@ -107,6 +107,7 @@ class WriteAheadLog:
         """Total bytes ever appended (the next record's start LSN)."""
         return self._next_lsn
 
+    # trailhot: hot -- sync WAL append, runs per TPC-C record update
     def try_append(self, payload: bytes) -> Optional[int]:
         """Synchronous fast path: buffer ``payload``, return its end LSN.
 
@@ -116,12 +117,17 @@ class WriteAheadLog:
         """
         if not payload:
             raise DatabaseError("cannot append an empty log record")
-        if (self._latch.in_use == 0 and self._latch.queue_length == 0
+        # Latch idleness read through the Resource internals: the
+        # in_use/queue_length properties cost two frames and two len()
+        # per append at record-update rates.
+        latch = self._latch
+        size = len(payload)
+        if (not latch._holders and not latch._waiters
                 and not self.policy.should_flush_on_append(
-                    len(self._buffer) + len(payload))):
+                    len(self._buffer) + size)):
             self._buffer.extend(payload)
-            self._next_lsn = lsn = self._next_lsn + len(payload)
-            self.stats.bytes_appended += len(payload)
+            self._next_lsn = lsn = self._next_lsn + size
+            self.stats.bytes_appended += size
             return lsn
         return None
 
@@ -129,6 +135,7 @@ class WriteAheadLog:
         """Latched/flushing append path (process; yield its event)."""
         return self.sim.process(self._append(payload), name="wal-append")
 
+    # trailhot: hot -- event-returning append wrapper on the same path
     def append(self, payload: bytes):
         """Append a record; the returned event's value is the record's
         end LSN.
@@ -167,6 +174,7 @@ class WriteAheadLog:
             yield from self._flush_io(descriptor)
         return lsn
 
+    # trailhot: hot -- runs per transaction commit
     def commit(self, lsn: int):
         """Run the policy's commit-time force; process value is the
         *durability event* for ``lsn``.
@@ -178,6 +186,7 @@ class WriteAheadLog:
         """
         return self.sim.process(self._commit(lsn), name="wal-commit")
 
+    # trailhot: hot_callee -- the per-commit force body
     def _commit(self, lsn: int) -> Generator:
         durable = self.sim.event()
         if lsn <= self._durable_lsn:
@@ -219,6 +228,7 @@ class WriteAheadLog:
 
     # ------------------------------------------------------------------
 
+    # trailhot: hot_callee -- detaches the buffer on every force
     def _snapshot(self) -> Optional[Tuple[bytes, int, int, int]]:
         """Detach the buffered byte range for flushing (latch held).
 
@@ -253,6 +263,7 @@ class WriteAheadLog:
                             if tail_len else b"")
         return padded, aligned_start, end_lsn, len(self._buffer)
 
+    # trailhot: hot_callee -- the force I/O behind every group commit
     def _flush_io(self, descriptor: Tuple[bytes, int, int, int]) -> Generator:
         """Write a detached, sector-aligned byte range to the region.
 
@@ -262,28 +273,35 @@ class WriteAheadLog:
         """
         padded, aligned_start, end_lsn, _unused = descriptor
         sector_size = self.device.sector_size
-        start_sector = (aligned_start // sector_size) % self.capacity_sectors
+        capacity = self.capacity_sectors
+        start_sector = (aligned_start // sector_size) % capacity
 
         flush_start = self.sim.now
         offset = 0
         sector = start_sector
-        while offset < len(padded):
-            room = (self.capacity_sectors - sector) * sector_size
+        padded_len = len(padded)
+        device_write = self.device.write
+        start_lba = self.start_lba
+        disk_id = self.disk_id
+        while offset < padded_len:
+            room = (capacity - sector) * sector_size
             chunk = padded[offset:offset + room]
-            yield self.device.write(self.start_lba + sector, chunk,
-                                    disk_id=self.disk_id)
+            yield device_write(start_lba + sector, chunk,
+                               disk_id=disk_id)
             offset += len(chunk)
             sector = 0  # wrapped
         self.stats.flushes += 1
         self.stats.bytes_flushed += end_lsn - aligned_start
         self.stats.flush_io.record(self.sim.now - flush_start)
 
-        self._durable_lsn = max(self._durable_lsn, end_lsn)
+        durable_lsn = self._durable_lsn = max(self._durable_lsn, end_lsn)
         still_waiting: List[Tuple[int, Event]] = []
+        keep = still_waiting.append
+        now = self.sim.now
         for lsn, event in self._waiters:
-            if lsn <= self._durable_lsn:
+            if lsn <= durable_lsn:
                 if not event.triggered:
-                    event.succeed(self.sim.now)
+                    event.succeed(now)
             else:
-                still_waiting.append((lsn, event))
+                keep((lsn, event))
         self._waiters = still_waiting

@@ -100,6 +100,7 @@ class Event:
         """Mark this event's failure as handled (kernel won't re-raise)."""
         self._defused = True
 
+    # trailhot: hot -- inlined scheduling, runs per event trigger
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
         if self._triggered:
@@ -124,6 +125,7 @@ class Event:
         sim._ready.append((sim._now, sequence, self))
         return self
 
+    # trailhot: hot -- waiter registration, runs per yield
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Register ``callback(event)`` to run when the event fires.
 
@@ -139,6 +141,7 @@ class Event:
         else:
             self._callbacks.append(callback)
 
+    # trailhot: hot_callee -- callback dispatch behind every event fire
     def _run_callbacks(self) -> None:
         # Detach all callbacks before invoking any, so a callback added
         # *during* this run executes immediately (the event is already
@@ -168,6 +171,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
+    # trailhot: hot -- born-triggered event, one per sleep/CPU charge
     def __init__(self, sim: "Simulation", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"timeout delay must be >= 0, got {delay}")

@@ -104,6 +104,7 @@ class Simulation:
     # ------------------------------------------------------------------
     # Factories
 
+    # trailhot: hot -- event factory, runs per simulated wakeup
     def event(self) -> Event:
         """Create a new untriggered event bound to this simulation."""
         # Inlined Event.__init__ (see docs/PERFORMANCE.md): skipping the
@@ -119,6 +120,7 @@ class Simulation:
         event._defused = False
         return event
 
+    # trailhot: hot -- timeout factory, runs per CPU charge / sleep
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` ms from now with ``value``."""
         if delay < 0:
@@ -156,6 +158,7 @@ class Simulation:
     # ------------------------------------------------------------------
     # Execution
 
+    # trailhot: hot -- the dispatch loop every simulated event crosses
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queues drain or the clock reaches ``until``.
 
@@ -327,6 +330,7 @@ class Simulation:
             return self._heap[0][0]
         return None
 
+    # trailhot: hot -- inlined dispatch loop of every bench scenario
     def run_until(self, event: Event) -> Any:
         """Run until ``event`` has fired; returns its value.
 
@@ -391,6 +395,7 @@ class Simulation:
         self._step()
         return True
 
+    # trailhot: hot_callee -- single-step dispatch behind step()/run_until
     def _step(self) -> None:
         ready = self._ready
         heap = self._heap
@@ -410,6 +415,7 @@ class Simulation:
     # ------------------------------------------------------------------
     # Internal API used by events
 
+    # trailhot: hot_callee -- every succeed/fail lands here
     def _schedule_event(self, event: Event, delay: float) -> None:
         self._sequence = sequence = self._sequence + 1
         if delay:

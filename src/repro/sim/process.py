@@ -20,6 +20,7 @@ identical to the property-based implementation.
 
 from __future__ import annotations
 
+from types import GeneratorType
 from typing import Any, Callable, Generator, Optional, TYPE_CHECKING
 
 from repro.errors import SimulationError
@@ -29,6 +30,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulation
 
 ProcessGenerator = Generator[Event, Any, Any]
+
+_new_event: Callable[..., Event] = Event.__new__
 
 
 class Interrupt(Exception):
@@ -55,19 +58,39 @@ class Process(Event):
         generator: ProcessGenerator,
         name: Optional[str] = None,
     ) -> None:
-        if not hasattr(generator, "throw"):
+        if generator.__class__ is not GeneratorType \
+                and not hasattr(generator, "throw"):
             raise SimulationError(
                 f"process requires a generator, got {type(generator).__name__}")
-        super().__init__(sim)
+        # Inlined Event.__init__ for the process event itself — TPC-C
+        # spawns a process per transaction and per I/O, so the two
+        # constructor frames here are measurable (see kernel.event()).
+        self.sim = sim
+        self._cb1 = None
+        self._callbacks = None
+        self._processed = False
+        self._value = _PENDING
+        self._exception = None
+        self._triggered = False
+        self._defused = False
         self._generator: Optional[ProcessGenerator] = generator
         self._waiting_on: Optional[Event] = None
         self._bound_resume: Optional[Callable[[Event], None]] = self._resume
         self.name: str = name or getattr(generator, "__name__", "process")
         # Kick off the generator at the current simulation time via an
-        # immediately-triggered initialization event.
-        init = Event(sim)
+        # immediately-triggered initialization event (construction and
+        # succeed() inlined; ordering and sequence numbering identical).
+        init = _new_event(Event)
+        init.sim = self.sim
         init._cb1 = self._bound_resume
-        init.succeed()
+        init._callbacks = None
+        init._processed = False
+        init._value = None
+        init._exception = None
+        init._triggered = True
+        init._defused = False
+        sim._sequence = sequence = sim._sequence + 1
+        sim._ready.append((sim._now, sequence, init))
 
     @property
     def is_alive(self) -> bool:
@@ -107,6 +130,7 @@ class Process(Event):
         self._generator = None
         self.succeed(stop.value)
 
+    # trailhot: hot -- runs once per yield of every process
     def _resume(self, event: Event) -> None:
         """Resume the generator with ``event``'s outcome."""
         if self._triggered:
@@ -125,9 +149,10 @@ class Process(Event):
             return
         self._waiting_on = None
         sim = self.sim
+        # Both are only None after _finish/_fail_or_crash, which also
+        # set _triggered — the guard above already returned.
         generator = self._generator
         bound = self._bound_resume
-        assert generator is not None and bound is not None
         sim._active_process = self
         try:
             if event._exception is None:

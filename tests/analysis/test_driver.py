@@ -4,7 +4,7 @@ The driver must be a pure re-plumbing of the standalone tools: same
 path scopes, same excludes, same findings — just one parse.  These
 tests pin the scoping and error-wrapping seams on a synthetic tree;
 the equivalence over the real repo is CI's ``make analyzers`` run
-(same ``check_file`` code path as the four individual targets).
+(same ``check_file`` code path as the five individual targets).
 """
 
 from __future__ import annotations
@@ -21,8 +21,22 @@ if str(ROOT) not in sys.path:
     sys.path.insert(0, str(ROOT))
 
 from tools.analysis.driver import main, run_all  # noqa: E402
+from tools.analysis.engine import run as run_standalone  # noqa: E402
 
 CLEAN = "def helper(value):\n    return value + 1\n"
+
+#: A hot-annotated function that trips exactly one THP001 (list display
+#: per iteration of a hot loop) — the minimal trailhot-dirty input.
+HOT_DIRTY = textwrap.dedent("""\
+    # trailhot: hot -- synthetic hot path for the driver tests
+    def hot_loop(values):
+        out = []
+        for value in values:
+            out.append([value])
+        return out
+""")
+
+ALL_TOOLS = ["trailint", "trailsan", "trailunits", "trailiso", "trailhot"]
 
 
 @pytest.fixture
@@ -44,18 +58,20 @@ class TestRunAll:
         report = run_all(root=str(tree))
         assert report.findings == 0
         assert report.files_parsed == 3
-        assert [run.name for run in report.runs] == [
-            "trailint", "trailsan", "trailunits", "trailiso"]
+        assert [run.name for run in report.runs] == ALL_TOOLS
         assert all(run.seconds >= 0 for run in report.runs)
 
     def test_each_tool_sees_only_its_path_scope(self, tree):
         report = run_all(root=str(tree))
         checked = {run.name: run.files_checked for run in report.runs}
-        # trailint covers src+tests+tools; the others skip tests/.
+        # trailint covers src+tests+tools; trailsan/trailunits/trailiso
+        # skip tests/; trailhot only sweeps src/ (annotations live on
+        # the engine's hot paths, not in tests or the tools tree).
         assert checked["trailint"] == 3
         assert checked["trailsan"] == 2
         assert checked["trailunits"] == 2
         assert checked["trailiso"] == 2
+        assert checked["trailhot"] == 1
 
     def test_findings_carry_the_owning_tool(self, tree):
         (tree / "src/repro/noisy.py").write_text(
@@ -65,6 +81,40 @@ class TestRunAll:
                    for run in report.runs}
         assert "TRL010" in by_tool["trailint"]
         assert not by_tool["trailsan"]
+
+    def test_trailhot_findings_reach_the_aggregate(self, tree):
+        """A hot-region finding appears under trailhot and nowhere else."""
+        (tree / "src/repro/hot.py").write_text(HOT_DIRTY, encoding="utf-8")
+        report = run_all(root=str(tree))
+        by_tool = {run.name: [f.code for f in run.findings]
+                   for run in report.runs}
+        assert by_tool["trailhot"] == ["THP001"]
+        for other in ("trailsan", "trailunits", "trailiso"):
+            assert not any(code.startswith("THP")
+                           for code in by_tool[other])
+        assert report.findings >= 1
+
+    def test_suppressions_match_the_standalone_tool(self, tree):
+        """Driver suppression handling is byte-identical to standalone.
+
+        The same suppressed finding must be hidden (and counted) by
+        both the shared-parse driver and the standalone engine run.
+        """
+        suppressed_src = HOT_DIRTY.replace(
+            "out.append([value])",
+            "out.append([value])  "
+            "# trailhot: disable=THP001 -- synthetic fixture")
+        (tree / "src/repro/hot.py").write_text(
+            suppressed_src, encoding="utf-8")
+        report = run_all(root=str(tree))
+        driver_run = {run.name: run for run in report.runs}["trailhot"]
+
+        from tools.trailhot.engine import SPEC
+        standalone = run_standalone(SPEC, ["src"], root=str(tree))
+
+        assert [f.code for f in driver_run.findings] \
+            == [f.code for f in standalone.findings] == []
+        assert driver_run.suppressed == standalone.suppressed == 1
 
     def test_parse_errors_wrap_under_each_tools_code(self, tree):
         (tree / "src/repro/broken.py").write_text(
@@ -76,10 +126,39 @@ class TestRunAll:
         assert "TSN000" in codes["trailsan"]
         assert "TUN000" in codes["trailunits"]
         assert "TIS000" in codes["trailiso"]
+        assert "THP000" in codes["trailhot"]
+
+    def test_crashing_tool_fails_loudly(self, tree, monkeypatch):
+        """A tool that raises mid-run must not report a false clean.
+
+        The driver deliberately has no catch-all around a tool's
+        check: a crashed analyzer propagates out of ``run_all`` so CI
+        fails red instead of green-with-a-missing-tool.
+        """
+        from tools.trailhot.engine import SPEC
+
+        def boom(files):
+            raise RuntimeError("rule crashed mid-run")
+
+        monkeypatch.setattr(SPEC, "prepare", boom)
+        with pytest.raises(RuntimeError, match="rule crashed mid-run"):
+            run_all(root=str(tree))
 
     def test_explicit_paths_override_every_scope(self, tree):
         report = run_all(root=str(tree), paths=["tests"])
         assert all(run.files_checked == 1 for run in report.runs)
+
+    def test_saved_parse_seconds_prices_the_shared_parse(self, tree):
+        """The saving estimate reflects the scope overlap, never < 0."""
+        report = run_all(root=str(tree))
+        # Standalone the five tools would parse 3+2+2+2+1 = 10 files;
+        # the union is 3, so 7 reparses were avoided.
+        standalone = sum(run.files_checked for run in report.runs)
+        assert standalone == 10
+        assert report.files_parsed == 3
+        assert report.saved_parse_seconds >= 0.0
+        expected = (report.parse_seconds / report.files_parsed) * 7
+        assert report.saved_parse_seconds == pytest.approx(expected)
 
 
 class TestCli:
@@ -87,7 +166,7 @@ class TestCli:
         assert main(["--root", str(tree)]) == 0
         out = capsys.readouterr().out
         assert "parsed 3 files once" in out
-        assert "4 tools clean" in out
+        assert "5 tools clean" in out
 
     def test_findings_exit_one_with_json(self, tree, capsys):
         (tree / "src/repro/noisy.py").write_text(
@@ -97,8 +176,8 @@ class TestCli:
         assert payload["files_parsed"] == 4
         trailint = payload["tools"]["trailint"]
         assert trailint["findings"][0]["code"] == "TRL010"
-        assert set(payload["tools"]) == {
-            "trailint", "trailsan", "trailunits", "trailiso"}
+        assert set(payload["tools"]) == set(ALL_TOOLS)
+        assert payload["saved_parse_seconds"] >= 0.0
 
     def test_missing_path_is_usage_error(self, tmp_path, capsys):
         assert main(["--root", str(tmp_path)]) == 2

@@ -228,3 +228,41 @@ class TestRawEncoderByteCompat:
         with pytest.raises(LogFormatError, match="first byte"):
             encode_record_raw(1, 1, NULL_LBA, 0, [(0x43, 1, 1, 0, 0)],
                               [good])
+
+
+class TestStreamEncoderByteCompat:
+    """encode_record_stream (the one-copy emit path, fed pre-masked
+    payload bytes) must produce exactly the concatenation of the
+    per-sector encoder's output."""
+
+    @given(
+        payloads=st.lists(
+            st.binary(min_size=512, max_size=512), min_size=1, max_size=6),
+        epoch=st.integers(min_value=0, max_value=2**32 - 1),
+        sequence_id=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_matches_joined_raw_encoder(self, payloads, epoch, sequence_id):
+        from repro.core.format import encode_record_raw, encode_record_stream
+        header = make_record(payloads, epoch=epoch, sequence_id=sequence_id)
+        entries = [(entry.first_data_byte, entry.log_lba, entry.data_lba,
+                    entry.data_major, entry.data_minor)
+                   for entry in header.entries]
+        masked = bytearray()
+        for payload in payloads:
+            masked += bytes([PAYLOAD_FIRST_BYTE]) + payload[1:]
+        assert encode_record_stream(
+            epoch, sequence_id, header.prev_sect, header.log_head,
+            entries, masked) == b"".join(encode_record_raw(
+                epoch, sequence_id, header.prev_sect, header.log_head,
+                entries, payloads))
+
+    def test_validation(self):
+        from repro.core.format import encode_record_stream
+        with pytest.raises(LogFormatError, match="payload"):
+            encode_record_stream(1, 1, NULL_LBA, 0, [], bytearray(512))
+        with pytest.raises(LogFormatError, match="MAX_TRAIL_BATCH"):
+            encode_record_stream(
+                1, 1, NULL_LBA, 0,
+                [(0x42, index, index, 0, 0)
+                 for index in range(MAX_TRAIL_BATCH + 1)],
+                bytearray(512 * (MAX_TRAIL_BATCH + 1)))

@@ -1,0 +1,20 @@
+"""Bad: annotation-hygiene violations (expectations live in the test).
+
+An ``# expect:`` marker appended to an annotation comment would change
+the text the grammar parses, so this fixture's expected findings are
+asserted by a dedicated test instead of inline markers.
+"""
+
+
+# trailhot: warm -- not a kind trailhot knows
+def tepid():
+    return 1
+
+
+# trailhot: hot
+def unreasoned():
+    return 2
+
+
+# trailhot: hot -- floats free, anchored to no function
+VALUE = 3

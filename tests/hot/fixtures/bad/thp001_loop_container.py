@@ -1,0 +1,12 @@
+"""Bad: containers built on every iteration of a hot loop."""
+
+
+# trailhot: hot -- synthetic dispatch loop for the fixture
+def drain(queue):
+    out = []
+    for item in queue:
+        extras = []                           # expect: THP001
+        row = {"item": item}                  # expect: THP001
+        keys = set(row)                       # expect: THP001
+        out.append((extras, row, keys))
+    return out

@@ -1,0 +1,12 @@
+"""Bad: closures, genexprs and nested defs allocated when hot."""
+
+
+# trailhot: hot -- synthetic per-event callback registration
+def notify(events, handler):
+    for event in events:
+        event.add_callback(lambda evt: handler(evt))  # expect: THP002
+    total = sum(event.size for event in events)       # expect: THP002
+
+    def helper():                                     # expect: THP002
+        return total
+    return helper

@@ -1,0 +1,20 @@
+"""Bad: a __slots__-less class instantiated per event."""
+
+
+class Frame:
+    def __init__(self, lba):
+        self.lba = lba
+
+
+class Packet:
+    __slots__ = ("lba",)
+
+    def __init__(self, lba):
+        self.lba = lba
+
+
+# trailhot: hot -- synthetic per-event object construction
+def build(lbas):
+    frames = [Frame(lba) for lba in lbas]             # expect: THP003
+    packet = Packet(7)
+    return frames, packet

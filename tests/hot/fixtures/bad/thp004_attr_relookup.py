@@ -1,0 +1,10 @@
+"""Bad: the same attribute chain resolved twice per iteration."""
+
+
+# trailhot: hot -- synthetic checksum loop over queued records
+def checksum(driver, records):
+    total = 0
+    for record in records:
+        total += driver.geometry.sector_size          # expect: THP004
+        total ^= driver.geometry.sector_size
+    return total

@@ -1,0 +1,11 @@
+"""Bad: the same global resolved twice per iteration."""
+
+SECTOR = 512
+
+
+# trailhot: hot -- synthetic span computation loop
+def span(lbas):
+    out = 0
+    for lba in lbas:
+        out += min(lba, SECTOR) + max(lba, SECTOR)    # expect: THP005
+    return out

@@ -1,0 +1,13 @@
+"""Bad: accidental quadratics in a hot region."""
+
+
+# trailhot: hot -- synthetic queue drain
+def drain(queue):
+    first = queue.pop(0)                              # expect: THP006
+    queue.insert(0, first)                            # expect: THP006
+    hits = []
+    for item in queue:
+        if item in hits:                              # expect: THP006
+            continue
+        hits.append(item)
+    return hits

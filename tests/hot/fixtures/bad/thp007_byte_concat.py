@@ -1,0 +1,12 @@
+"""Bad: per-iteration byte concatenation and hot f-strings."""
+
+MAGIC = b"\x7fTRAIL"
+
+
+# trailhot: hot -- synthetic encode loop
+def encode(payloads):
+    blobs = []
+    for payload in payloads:
+        blobs.append(MAGIC + payload)                 # expect: THP007
+    label = f"record-{id(blobs)}"                     # expect: THP007
+    return blobs, label

@@ -1,0 +1,13 @@
+"""Bad: a hot loop calling an allocating, un-audited function."""
+
+
+def expand(record):
+    return [record.lba, record.size]
+
+
+# trailhot: hot -- synthetic writeback loop
+def writeback(records):
+    out = []
+    for record in records:
+        out.extend(expand(record))                    # expect: THP008
+    return out

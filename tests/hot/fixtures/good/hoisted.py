@@ -1,0 +1,32 @@
+"""Good: a hot region already shaped the way the THP rules want."""
+
+from collections import deque
+
+
+class Record:
+    __slots__ = ("lba", "size")
+
+    def __init__(self, lba, size):
+        self.lba = lba
+        self.size = size
+
+
+class Codec:
+    __slots__ = ()
+
+    # trailhot: hot_callee -- audited callee; anchor above decorator
+    @classmethod
+    def ident(cls, value):
+        return value
+
+
+# trailhot: hot -- synthetic drain loop, hoisted and bound correctly
+def drain(driver, queue):
+    out = []
+    pending = deque(queue)
+    sector_size = driver.geometry.sector_size
+    append = out.append
+    popleft = pending.popleft
+    while pending:
+        append(Record(popleft(), sector_size))
+    return out

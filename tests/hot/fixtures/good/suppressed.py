@@ -1,0 +1,10 @@
+"""Good: a justified suppression hides one deliberate finding."""
+
+
+# trailhot: hot -- synthetic loop with one accepted allocation
+def batch(items):
+    out = []
+    for item in items:
+        row = {"item": item}  # trailhot: disable=THP001 -- one dict per row is the API
+        out.append(row)
+    return out

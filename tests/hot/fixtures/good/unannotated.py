@@ -1,0 +1,15 @@
+"""Good: every churn pattern, zero annotations — vacuously clean.
+
+Hot-region accounting is opt-in; code nobody marked hot may allocate
+however it likes.
+"""
+
+
+def cold(queue, handler):
+    out = []
+    for item in queue:
+        extras = []
+        out.append(lambda: handler(extras))
+        if item in out:
+            out.pop(0)
+    return [f"{value}" for value in out]

@@ -36,10 +36,10 @@ SMOKE_SCALE = 0.02
 #: numbers: loose enough for shared CI runners, tight enough that a
 #: 5x regression cannot slip through.  Only checked under PERF_FLOOR.
 FLOOR_OPS_PER_SEC = {
-    "kernel-churn": 200_000.0,
-    "sector-churn": 600_000.0,
-    "fig3-sparse": 3_000.0,
-    "tpcc-small": 130.0,
+    "kernel-churn": 230_000.0,
+    "sector-churn": 570_000.0,
+    "fig3-sparse": 3_300.0,
+    "tpcc-small": 170.0,
 }
 
 

@@ -1,0 +1,49 @@
+"""trailhot — hot-region allocation and complexity analysis.
+
+ROADMAP item 2 (raw speed) stalls when profiling goes flat: after the
+PR 1/6 passes the remaining TPC-C overhead is diffuse per-event
+allocation and lookup churn that no single profile line localizes.
+trailhot makes that churn a static finding.  A function annotated
+``# trailhot: hot -- reason`` (or ``hot_callee`` for an audited
+callee) becomes a *hot region*, and the THP rules account for every
+per-event cost inside it: containers built per loop iteration
+(THP001), closures/lambdas/genexprs allocated per call (THP002),
+slotless classes instantiated per event (THP003), attribute and
+global chains re-resolved per iteration (THP004/THP005), accidental
+quadratics like ``pop(0)`` and ``x in list`` under a loop (THP006),
+bytes/f-string concatenation on encode paths (THP007), and calls
+that let allocation escape into un-audited callees (THP008).
+
+Run it with ``python -m tools.trailhot`` (``make trailhot``), or
+programmatically::
+
+    from tools.trailhot import run_paths
+    findings, files = run_paths(["src"], root="/path/to/repo")
+
+A hot region is opted in with an annotation (reason required)::
+
+    # trailhot: hot -- dispatch loop, runs per simulated event
+    def run(self) -> None: ...
+
+Suppressions (``# trailhot: disable=THPnnn -- reason``) require a
+reason; THP000 polices both suppression and annotation hygiene.  The
+static pass is paired with the ``TRAILHOT=1`` runtime twin: the
+allocation-budget harness in ``repro.analysis.hotalloc`` records
+per-scenario Python-call and peak-traced-memory budgets next to the
+perf numbers and gates them in the perf-smoke CI leg.
+"""
+
+from tools.trailhot.engine import (
+    DEFAULT_EXCLUDE_PATTERNS, Finding, HotContext, SPEC, SweepTable,
+    run_paths)
+from tools.trailhot.rules import REGISTRY
+
+__all__ = [
+    "DEFAULT_EXCLUDE_PATTERNS",
+    "Finding",
+    "HotContext",
+    "REGISTRY",
+    "SPEC",
+    "SweepTable",
+    "run_paths",
+]

@@ -1,0 +1,20 @@
+"""Command-line entry point: ``python -m tools.trailhot [paths...]``.
+
+Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from tools.analysis.cli import main as _shared_main
+from tools.trailhot.engine import SPEC
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    return _shared_main(SPEC, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,132 @@
+"""trailhot's binding to the shared analyzer runtime.
+
+:meth:`TrailhotSpec.prepare` builds the cross-file *sweep table* —
+every class (does it declare ``__slots__``?) and every function (is
+it annotated? does it allocate per call?) in the analyzed tree — so
+THP003 and THP008 can resolve instantiations and hot→cold calls
+across module boundaries.  The per-file models computed for the
+table are cached and handed to each :class:`HotContext`, so one file
+is modeled exactly once per run.  trailhot requires a ``-- reason``
+on every suppression, like trailunits and trailiso.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from tools.analysis.engine import FileContext, ParsedFile, ToolSpec
+from tools.analysis.engine import run_paths as _shared_run_paths
+from tools.analysis.findings import Finding
+from tools.trailhot.model import (
+    ClassDecl, FunctionDecl, ModuleModel, collect)
+from tools.trailhot.rules import REGISTRY
+
+__all__ = [
+    "DEFAULT_EXCLUDE_PATTERNS", "Finding", "HotContext", "SPEC",
+    "SweepTable", "TrailhotSpec", "run_paths",
+]
+
+#: Fixture trees are deliberately wrong code; they are analyzed by
+#: naming them explicitly, never by a directory walk.
+DEFAULT_EXCLUDE_PATTERNS: Tuple[str, ...] = (
+    "tests/hot/fixtures/*",
+    "tests/iso/fixtures/*",
+    "tests/units/fixtures/*",
+    "tests/lint/fixtures/*",
+    "tests/san/fixtures/*",
+)
+
+
+class SweepTable:
+    """Cross-file declarations, keyed by bare name.
+
+    Call sites resolve by the last component of the dotted callee
+    (``self._emit`` → ``_emit``), so a name maps to *every*
+    declaration carrying it; rules only fire when the verdict is
+    unanimous across candidates.
+    """
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, List[ClassDecl]] = {}
+        self.functions: Dict[str, List[FunctionDecl]] = {}
+        self.models: Dict[str, ModuleModel] = {}
+
+    def add(self, relpath: str, model: ModuleModel) -> None:
+        self.models[relpath] = model
+        for decl in model.classes:
+            self.classes.setdefault(decl.name, []).append(decl)
+        for fn in model.functions:
+            self.functions.setdefault(fn.name, []).append(fn)
+
+
+class HotContext(FileContext):
+    """Per-file context: the cached model plus the sweep table."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module,
+                 table: SweepTable) -> None:
+        super().__init__(path, source, tree)
+        self._table = table
+        self._model: Optional[ModuleModel] = None
+
+    def model(self) -> ModuleModel:
+        if self._model is None:
+            self._model = self._table.models.get(self.path) \
+                or collect(self.tree, self.source)
+        return self._model
+
+    def table(self) -> SweepTable:
+        return self._table
+
+    def line_finding(self, line: int, code: str,
+                     message: str) -> Finding:
+        return Finding(path=self.path, line=line, col=1, code=code,
+                       message=message)
+
+
+class TrailhotSpec(ToolSpec):
+    """trailhot: hot-region allocation and complexity analysis."""
+
+    name = "trailhot"
+    prefix = "THP"
+    error_code = "THP000"
+    hygiene_code = "THP000"
+    extra_known_codes = ("THP000",)
+    require_reason = True
+    description = ("Hot-region allocation and complexity analysis "
+                   "for the Trail reproduction: per-iteration "
+                   "container/closure churn, slotless instantiation, "
+                   "repeated attribute/global lookups, accidental "
+                   "quadratics, and hot-path byte concatenation, "
+                   "driven by '# trailhot: hot' annotations.")
+    default_paths = ("src",)
+    default_exclude = DEFAULT_EXCLUDE_PATTERNS
+    registry = REGISTRY
+
+    def load_rules(self) -> None:
+        import tools.trailhot.rules  # noqa: F401
+
+    def prepare(self, files: Sequence[ParsedFile]) -> SweepTable:
+        table = SweepTable()
+        for parsed in files:
+            if parsed.tree is not None:
+                table.add(parsed.relpath,
+                          collect(parsed.tree, parsed.source))
+        return table
+
+    def make_context(self, parsed: ParsedFile,
+                     shared: object) -> HotContext:
+        assert parsed.tree is not None
+        table = shared if isinstance(shared, SweepTable) \
+            else SweepTable()
+        return HotContext(parsed.relpath, parsed.source, parsed.tree,
+                          table)
+
+
+SPEC = TrailhotSpec()
+
+
+def run_paths(paths: Sequence[str], root: Optional[str] = None,
+              ) -> Tuple[List[Finding], int]:
+    """Analyze ``paths`` under ``root`` with the full rule set."""
+    return _shared_run_paths(SPEC, paths, root=root)

@@ -1,0 +1,288 @@
+"""The hot-region model: annotations, declarations and loop ownership.
+
+Everything trailhot knows about one file is computed here, once, and
+shared by every THP rule through the engine's context cache:
+
+* **Annotations** — ``# trailhot: hot -- reason`` marks a function as
+  a hot region (executed per event / per transaction);
+  ``# trailhot: hot_callee -- reason`` marks a function as an audited
+  callee of a hot region.  Both anchor to a ``def`` (same line, the
+  line above, or above the first decorator) and require a reason.
+* **Declarations** — every function and class in the file, with the
+  facts the cross-file sweep table needs: does this class declare
+  ``__slots__``, does this function allocate a container/closure per
+  call, does it look like an exception type.
+* **Loop ownership** — for each hot function, every node attributed
+  to its *nearest* enclosing loop, so per-iteration rules (THP001,
+  THP004–THP008) never double-report under nested loops.  ``raise``
+  subtrees are excluded everywhere: error paths are cold by
+  definition.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from tools.analysis.registry import dotted_name
+
+#: The two annotation kinds trailhot understands.
+HOT = "hot"
+HOT_CALLEE = "hot_callee"
+KINDS = frozenset({HOT, HOT_CALLEE})
+
+#: ``# trailhot: <kind> [-- reason]`` — shaped so that suppression
+#: comments (``# trailhot: disable=THP001``) never match: the kind
+#: may not contain ``=``.
+_ANNOTATION = re.compile(
+    r"#\s*trailhot:\s*(?P<kind>[A-Za-z_][A-Za-z0-9_]*)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$")
+
+#: Constructor calls that allocate a fresh container per call.
+CONTAINER_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter", "collections.deque",
+    "collections.defaultdict", "collections.OrderedDict",
+    "collections.Counter",
+})
+
+#: Display / comprehension nodes that allocate a container.
+_CONTAINER_NODES = (ast.List, ast.Dict, ast.Set,
+                    ast.ListComp, ast.SetComp, ast.DictComp)
+
+#: Nodes that allocate a closure / generator object per evaluation.
+_CLOSURE_NODES = (ast.Lambda, ast.GeneratorExp,
+                  ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class Annotation:
+    """One parsed ``# trailhot:`` annotation comment."""
+
+    line: int
+    kind: str
+    reason: Optional[str]
+    used: bool = False
+
+
+@dataclass
+class FunctionDecl:
+    """One function definition and its sweep-table facts."""
+
+    node: ast.AST                  # FunctionDef / AsyncFunctionDef
+    name: str
+    qualname: str
+    class_name: Optional[str]
+    annotation: Optional[Annotation]   # hot / hot_callee, if any
+    allocates: bool                # container/closure built per call
+
+
+@dataclass
+class ClassDecl:
+    """One class definition and its sweep-table facts."""
+
+    node: ast.ClassDef
+    name: str
+    has_slots: bool
+    is_exception: bool
+
+
+@dataclass
+class ModuleModel:
+    """Everything trailhot derived from one parsed file."""
+
+    annotations: List[Annotation] = field(default_factory=list)
+    functions: List[FunctionDecl] = field(default_factory=list)
+    classes: List[ClassDecl] = field(default_factory=list)
+    #: Module-level names bound to str/bytes constants (THP007 treats
+    #: them like literals: ``PREFIX + payload[1:]`` copies per call).
+    str_constants: Set[str] = field(default_factory=set)
+
+    @property
+    def hot_functions(self) -> List[FunctionDecl]:
+        return [fn for fn in self.functions if fn.annotation is not None]
+
+
+def parse_annotations(source: str) -> List[Annotation]:
+    """Collect every ``# trailhot: <kind>`` comment in the file.
+
+    Real comment tokens only — the grammar appearing in docstrings
+    (this module documents itself) is not an annotation.
+    """
+    found: List[Annotation] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [tok for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return found
+    for tok in comments:
+        match = _ANNOTATION.search(tok.string)
+        if match is None:
+            continue
+        found.append(Annotation(line=tok.start[0],
+                                kind=match.group("kind"),
+                                reason=match.group("reason")))
+    return found
+
+
+def _anchor_lines(node: ast.AST) -> List[int]:
+    """Lines an annotation may sit on to anchor to this ``def``."""
+    lines = [node.lineno, node.lineno - 1]
+    decorators = getattr(node, "decorator_list", [])
+    if decorators:
+        first = min(dec.lineno for dec in decorators)
+        lines.append(first - 1)
+    return lines
+
+
+def _body_allocates(node: ast.AST) -> bool:
+    """True when the function builds a container or closure per call.
+
+    A generator function counts: calling it allocates a frame and a
+    generator object every time.  ``raise`` subtrees are skipped —
+    allocating while constructing an error is a cold path, not
+    per-call churn.
+    """
+    for child in iter_region(node):
+        if isinstance(child, _CONTAINER_NODES + (ast.Lambda,
+                                                 ast.GeneratorExp)):
+            return True
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(child, ast.Call) \
+                and dotted_name(child.func) in CONTAINER_CALLS:
+            return True
+    return False
+
+
+def collect(tree: ast.Module, source: str) -> ModuleModel:
+    """Annotations, declarations and constants for one parsed file."""
+    model = ModuleModel()
+    model.annotations = parse_annotations(source)
+    by_line = {ann.line: ann for ann in model.annotations}
+
+    for stmt in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if isinstance(value, ast.Constant) \
+                and isinstance(value.value, (str, bytes)):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    model.str_constants.add(target.id)
+
+    def scan(body: Sequence[ast.stmt], prefix: str,
+             class_name: Optional[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                annotation = None
+                for line in _anchor_lines(stmt):
+                    found = by_line.get(line)
+                    if found is not None:
+                        found.used = True
+                        annotation = found
+                        break
+                model.functions.append(FunctionDecl(
+                    node=stmt, name=stmt.name,
+                    qualname=f"{prefix}{stmt.name}",
+                    class_name=class_name, annotation=annotation,
+                    allocates=_body_allocates(stmt)))
+                scan(stmt.body, f"{prefix}{stmt.name}.", class_name)
+            elif isinstance(stmt, ast.ClassDef):
+                has_slots = any(
+                    isinstance(inner, (ast.Assign, ast.AnnAssign))
+                    and any(isinstance(t, ast.Name)
+                            and t.id == "__slots__"
+                            for t in (inner.targets
+                                      if isinstance(inner, ast.Assign)
+                                      else [inner.target]))
+                    for inner in stmt.body)
+                bases = {dotted_name(base).rsplit(".", 1)[-1]
+                         for base in stmt.bases}
+                is_exc = any(base.endswith(("Error", "Exception",
+                                            "Warning"))
+                             for base in bases | {stmt.name})
+                model.classes.append(ClassDecl(
+                    node=stmt, name=stmt.name, has_slots=has_slots,
+                    is_exception=is_exc))
+                scan(stmt.body, f"{prefix}{stmt.name}.", stmt.name)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                scan([child for child in ast.iter_child_nodes(stmt)
+                      if isinstance(child, ast.stmt)],
+                     prefix, class_name)
+
+    scan(tree.body, "", None)
+    return model
+
+
+def iter_region(fn: ast.AST) -> Iterator[ast.AST]:
+    """Every node in a function's own body — not nested functions'.
+
+    A nested ``def``/``lambda`` is *yielded* (THP002 flags the
+    allocation) but not entered: its body runs in a different frame
+    with its own cost profile.  ``raise`` subtrees are skipped — cold
+    error paths are exempt from per-event accounting.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            continue
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+
+
+def loop_ownership(fn: ast.AST) -> Dict[ast.AST, List[ast.AST]]:
+    """Nodes per *nearest* enclosing loop within one hot region.
+
+    A ``for`` loop's iterable and target run once and belong to the
+    enclosing loop (or none); its body/else run per iteration.  A
+    ``while`` loop's test runs per iteration.  Nested functions and
+    ``raise`` subtrees are excluded, as in :func:`iter_region`.
+    """
+    owned: Dict[ast.AST, List[ast.AST]] = {}
+
+    def attribute(node: ast.AST, loop: Optional[ast.AST]) -> None:
+        if loop is not None:
+            owned.setdefault(loop, []).append(node)
+
+    def visit(node: ast.AST, loop: Optional[ast.AST]) -> None:
+        if node is not fn \
+                and isinstance(node, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            for part in (node.iter, node.target):
+                attribute(part, loop)
+                visit(part, loop)
+            for stmt in node.body + node.orelse:
+                attribute(stmt, node)
+                visit(stmt, node)
+            return
+        if isinstance(node, ast.While):
+            for part in [node.test] + node.body + node.orelse:
+                attribute(part, node)
+                visit(part, node)
+            return
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Raise):
+                continue
+            attribute(child, loop)
+            visit(child, loop)
+
+    visit(fn, None)
+    return owned

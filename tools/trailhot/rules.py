@@ -1,0 +1,495 @@
+"""The THP rules: allocation and complexity churn in hot regions.
+
+A *hot region* is a function annotated ``# trailhot: hot`` (runs per
+event / per transaction) or ``# trailhot: hot_callee`` (an audited
+callee of one).  Every rule except the hygiene check fires only
+inside hot regions, so an un-annotated tree is vacuously clean and
+each annotation is an explicit opt-in to per-event accounting.
+
+| code   | catches                                                     |
+|--------|-------------------------------------------------------------|
+| THP001 | container built per loop iteration in a hot region          |
+| THP002 | closure / lambda / genexpr allocated in a hot region        |
+| THP003 | class without ``__slots__`` instantiated in a hot region    |
+| THP004 | same attribute chain re-looked-up per loop iteration        |
+| THP005 | same global/builtin re-looked-up per loop iteration         |
+| THP006 | accidental quadratic: ``pop(0)``/``insert(0,)``/in-list     |
+| THP007 | bytes/str concatenation or f-string on a hot encode path    |
+| THP008 | hot loop calls an allocating function outside the sweep     |
+
+``THP000`` is the engine's own code: unreadable files, suppression
+hygiene (reasons required), and annotation hygiene — every
+``# trailhot:`` comment must name a known kind, anchor to a ``def``,
+and carry a ``-- reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    TYPE_CHECKING, ClassVar, Dict, Iterator, List, Optional, Set,
+    Tuple)
+
+from tools.analysis.registry import Registry, dotted_name
+from tools.analysis.registry import Rule as _SharedRule
+from tools.trailhot.model import (
+    CONTAINER_CALLS, FunctionDecl, HOT, HOT_CALLEE, KINDS, iter_region,
+    loop_ownership)
+
+if TYPE_CHECKING:
+    from tools.analysis.findings import Finding
+    from tools.trailhot.engine import HotContext
+
+#: The global THP rule set; rules self-register at import time.
+REGISTRY = Registry("THP")
+
+#: Hot-region accounting applies to the library sources; tests and
+#: tools are not on any simulated hot path.
+_LIB_SCOPE: Tuple[str, ...] = ("src/repro/*",)
+
+_CONTAINER_DISPLAYS = (ast.List, ast.Dict, ast.Set,
+                       ast.ListComp, ast.SetComp, ast.DictComp)
+
+
+class Rule(_SharedRule):
+    """One named hot-path check, scoped to library sources."""
+
+    scope: ClassVar[Tuple[str, ...]] = _LIB_SCOPE
+
+
+def _display_kind(node: ast.AST) -> Optional[str]:
+    """Human name of the container an expression allocates, if any."""
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return "list"
+    if isinstance(node, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name in CONTAINER_CALLS:
+            return name.rsplit(".", 1)[-1]
+    return None
+
+
+def _bound_names(fn: ast.AST) -> Set[str]:
+    """Names bound in the function's own scope (params + stores)."""
+    bound: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])):
+            bound.add(arg.arg)
+    for node in iter_region(fn):
+        if isinstance(node, ast.Name) \
+                and isinstance(node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            bound.add(node.name)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+    return bound
+
+
+def _loop_line(loop: ast.AST) -> int:
+    return getattr(loop, "lineno", 1)
+
+
+@REGISTRY.register
+class AnnotationHygiene(Rule):
+    """THP000 (annotation half): trailhot comments stay honest.
+
+    The suppression half of THP000 (unknown/unused/reason-less
+    ``disable=`` comments) is enforced by the shared runtime; this
+    rule polices the *annotation* grammar the same way — an
+    annotation must name a known kind, carry a reason, and anchor to
+    a function definition.
+    """
+
+    code = "THP000"
+    name = "annotation-hygiene"
+    summary = ("trailhot annotations must be known, reasoned and "
+               "anchored to a function definition")
+    scope: ClassVar[Tuple[str, ...]] = ()
+
+    def check(self, ctx: "HotContext") -> Iterator["Finding"]:
+        for ann in ctx.model().annotations:
+            if ann.kind not in KINDS:
+                yield ctx.line_finding(
+                    ann.line, self.code,
+                    f"unknown trailhot annotation '{ann.kind}'; the "
+                    f"kinds are '{HOT}' and '{HOT_CALLEE}'")
+                continue
+            if not ann.used:
+                yield ctx.line_finding(
+                    ann.line, self.code,
+                    f"'{ann.kind}' annotation is not anchored to a "
+                    f"function definition (same line, the line "
+                    f"above, or above the first decorator)")
+            if ann.reason is None:
+                yield ctx.line_finding(
+                    ann.line, self.code,
+                    f"'{ann.kind}' annotation has no reason; write "
+                    f"'-- <why this path is hot>'")
+
+
+@REGISTRY.register
+class LoopContainer(Rule):
+    """THP001: a container built on every iteration of a hot loop.
+
+    A list/dict/set display, comprehension, or constructor call
+    inside a loop in a hot region allocates a fresh container per
+    iteration.  Hoist it out of the loop, reuse a preallocated one,
+    or restructure so the loop appends into a single container.
+    """
+
+    code = "THP001"
+    name = "loop-container"
+    summary = "container constructed per iteration in a hot loop"
+
+    def check(self, ctx: "HotContext") -> Iterator["Finding"]:
+        for fn in ctx.model().hot_functions:
+            for loop, nodes in loop_ownership(fn.node).items():
+                for node in nodes:
+                    kind = _display_kind(node)
+                    if kind is None:
+                        continue
+                    yield ctx.finding(
+                        node, self.code,
+                        f"hot loop in '{fn.qualname}' builds a "
+                        f"{kind} per iteration; hoist or reuse it")
+
+
+@REGISTRY.register
+class HotClosure(Rule):
+    """THP002: a closure, lambda or genexpr allocated in a hot region.
+
+    Each evaluation allocates a function/generator object and a cell
+    chain.  Replace a genexpr-in-``all()``/``any()`` with an explicit
+    loop, a lambda callback with a bound method or preallocated
+    callable, and a nested def with a module-level function.
+    """
+
+    code = "THP002"
+    name = "hot-closure"
+    summary = "closure/lambda/genexpr allocated per call in a hot region"
+
+    def check(self, ctx: "HotContext") -> Iterator["Finding"]:
+        for fn in ctx.model().hot_functions:
+            for node in iter_region(fn.node):
+                if isinstance(node, ast.Lambda):
+                    what = "lambda"
+                elif isinstance(node, ast.GeneratorExp):
+                    what = "generator expression"
+                elif isinstance(node, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                    what = f"nested function '{node.name}'"
+                else:
+                    continue
+                yield ctx.finding(
+                    node, self.code,
+                    f"hot region '{fn.qualname}' allocates a {what} "
+                    f"per call; use a bound method, an explicit "
+                    f"loop, or a module-level function")
+
+
+@REGISTRY.register
+class NoSlotsInstantiation(Rule):
+    """THP003: instantiating a ``__slots__``-less class when hot.
+
+    Every instance of a slotless class carries a per-instance
+    ``__dict__`` — an extra allocation and hash-lookup attribute
+    access on an object built per event.  Declare ``__slots__`` on
+    classes constructed in hot regions.
+    """
+
+    code = "THP003"
+    name = "no-slots-instantiation"
+    summary = "class without __slots__ instantiated in a hot region"
+
+    def check(self, ctx: "HotContext") -> Iterator["Finding"]:
+        classes = ctx.table().classes
+        for fn in ctx.model().hot_functions:
+            for node in iter_region(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = dotted_name(node.func).rsplit(".", 1)[-1]
+                decls = classes.get(name)
+                if not decls:
+                    continue
+                if any(decl.has_slots or decl.is_exception
+                       for decl in decls):
+                    continue
+                yield ctx.finding(
+                    node, self.code,
+                    f"hot region '{fn.qualname}' instantiates "
+                    f"'{name}', which declares no __slots__; add "
+                    f"__slots__ to drop the per-instance __dict__")
+
+
+@REGISTRY.register
+class LoopAttributeRelookup(Rule):
+    """THP004: one attribute chain resolved repeatedly per iteration.
+
+    ``self.a.b`` costs a dict lookup per attribute per evaluation;
+    resolving the same chain two or more times inside one loop body
+    repays a local binding hoisted above the loop (the PR 6 hand
+    optimization, now enforced).  Chains written inside the loop are
+    exempt — rebinding changes what the next read sees.
+    """
+
+    code = "THP004"
+    name = "loop-attr-relookup"
+    summary = "same attribute chain looked up repeatedly in a hot loop"
+
+    def check(self, ctx: "HotContext") -> Iterator["Finding"]:
+        for fn in ctx.model().hot_functions:
+            for loop, nodes in loop_ownership(fn.node).items():
+                attrs: List[ast.Attribute] = []
+                stored: Set[str] = set()
+                rebound: Set[str] = set()
+                for node in nodes:
+                    if isinstance(node, ast.Attribute):
+                        chain = dotted_name(node)
+                        if not chain:
+                            continue
+                        if isinstance(node.ctx, (ast.Store, ast.Del)):
+                            stored.add(chain)
+                        else:
+                            attrs.append(node)
+                    elif isinstance(node, ast.Name) \
+                            and isinstance(node.ctx,
+                                           (ast.Store, ast.Del)):
+                        rebound.add(node.id)
+                counts: Dict[str, List[ast.Attribute]] = {}
+                for node in attrs:
+                    # Count maximal chains only: skip an Attribute
+                    # that is the ``.value`` of a longer chain.
+                    if any(other.value is node for other in attrs):
+                        continue
+                    counts.setdefault(dotted_name(node),
+                                      []).append(node)
+                for chain, sites in sorted(counts.items()):
+                    if len(sites) < 2:
+                        continue
+                    base = chain.split(".", 1)[0]
+                    if base in rebound:
+                        continue
+                    if any(chain == s or chain.startswith(s + ".")
+                           for s in stored):
+                        continue
+                    first = min(sites, key=lambda n: (n.lineno,
+                                                      n.col_offset))
+                    yield ctx.finding(
+                        first, self.code,
+                        f"hot loop in '{fn.qualname}' looks up "
+                        f"'{chain}' {len(sites)} times per "
+                        f"iteration; bind it to a local before the "
+                        f"loop")
+
+
+@REGISTRY.register
+class LoopGlobalRelookup(Rule):
+    """THP005: one global or builtin resolved repeatedly per iteration.
+
+    A global read is two dict probes (module then builtins); doing it
+    repeatedly inside a hot loop repays ``name = name`` local binding
+    above the loop, exactly as the kernel's dispatch loops already
+    do by hand.
+    """
+
+    code = "THP005"
+    name = "loop-global-relookup"
+    summary = "same global/builtin looked up repeatedly in a hot loop"
+
+    def check(self, ctx: "HotContext") -> Iterator["Finding"]:
+        for fn in ctx.model().hot_functions:
+            bound = _bound_names(fn.node)
+            for loop, nodes in loop_ownership(fn.node).items():
+                counts: Dict[str, List[ast.Name]] = {}
+                for node in nodes:
+                    if isinstance(node, ast.Name) \
+                            and isinstance(node.ctx, ast.Load) \
+                            and node.id not in bound \
+                            and node.id not in ("self", "cls"):
+                        counts.setdefault(node.id, []).append(node)
+                for name, sites in sorted(counts.items()):
+                    if len(sites) < 2:
+                        continue
+                    first = min(sites, key=lambda n: (n.lineno,
+                                                      n.col_offset))
+                    yield ctx.finding(
+                        first, self.code,
+                        f"hot loop in '{fn.qualname}' resolves "
+                        f"global '{name}' {len(sites)} times per "
+                        f"iteration; bind it to a local before the "
+                        f"loop")
+
+
+@REGISTRY.register
+class AccidentalQuadratic(Rule):
+    """THP006: an O(n) step hiding inside a hot O(n) construct.
+
+    ``list.pop(0)`` and ``list.insert(0, x)`` shift the whole list
+    (use ``collections.deque``); ``x in some_list`` under a loop
+    scans it per iteration (use a set).  Either turns a hot loop
+    quadratic as the workload scales.
+    """
+
+    code = "THP006"
+    name = "accidental-quadratic"
+    summary = "pop(0)/insert(0,)/in-list makes a hot loop quadratic"
+
+    def check(self, ctx: "HotContext") -> Iterator["Finding"]:
+        for fn in ctx.model().hot_functions:
+            list_names: Set[str] = set()
+            for node in iter_region(fn.node):
+                if isinstance(node, ast.Assign) \
+                        and isinstance(node.value,
+                                       (ast.List, ast.ListComp)) \
+                        or (isinstance(node, ast.Assign)
+                            and isinstance(node.value, ast.Call)
+                            and dotted_name(node.value.func) == "list"):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            list_names.add(target.id)
+            for node in iter_region(fn.node):
+                if isinstance(node, ast.Call) \
+                        and isinstance(node.func, ast.Attribute) \
+                        and node.args \
+                        and isinstance(node.args[0], ast.Constant) \
+                        and node.args[0].value == 0:
+                    if node.func.attr == "pop":
+                        yield ctx.finding(
+                            node, self.code,
+                            f"'.pop(0)' in hot region "
+                            f"'{fn.qualname}' shifts the whole "
+                            f"list; use collections.deque")
+                    elif node.func.attr == "insert":
+                        yield ctx.finding(
+                            node, self.code,
+                            f"'.insert(0, ...)' in hot region "
+                            f"'{fn.qualname}' shifts the whole "
+                            f"list; use collections.deque")
+            for loop, nodes in loop_ownership(fn.node).items():
+                for node in nodes:
+                    if not isinstance(node, ast.Compare):
+                        continue
+                    for op, comparator in zip(node.ops,
+                                              node.comparators):
+                        if not isinstance(op, (ast.In, ast.NotIn)):
+                            continue
+                        if isinstance(comparator, ast.Name) \
+                                and comparator.id in list_names:
+                            yield ctx.finding(
+                                node, self.code,
+                                f"hot loop in '{fn.qualname}' "
+                                f"scans list "
+                                f"'{comparator.id}' per iteration "
+                                f"with 'in'; use a set")
+
+
+@REGISTRY.register
+class HotByteConcat(Rule):
+    """THP007: concatenation or formatting on a hot encode path.
+
+    ``prefix + payload`` copies both operands per evaluation and
+    f-strings run the format machinery per call; inside a hot loop
+    these dominate an encode path.  Use ``b''.join``, a reused
+    ``bytearray``, ``memoryview`` slices, or precomputed strings.
+    """
+
+    code = "THP007"
+    name = "hot-byte-concat"
+    summary = "bytes/str concatenation or f-string on a hot path"
+
+    def _concat_operand(self, ctx: "HotContext",
+                        node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) \
+                and isinstance(node.value, (str, bytes)):
+            return True
+        return (isinstance(node, ast.Name)
+                and node.id in ctx.model().str_constants)
+
+    def check(self, ctx: "HotContext") -> Iterator["Finding"]:
+        for fn in ctx.model().hot_functions:
+            for node in iter_region(fn.node):
+                if isinstance(node, ast.JoinedStr):
+                    yield ctx.finding(
+                        node, self.code,
+                        f"f-string formats per call in hot region "
+                        f"'{fn.qualname}'; precompute it or move "
+                        f"formatting off the hot path")
+            for loop, nodes in loop_ownership(fn.node).items():
+                for node in nodes:
+                    operands: List[ast.expr] = []
+                    if isinstance(node, ast.BinOp) \
+                            and isinstance(node.op, ast.Add):
+                        operands = [node.left, node.right]
+                    elif isinstance(node, ast.AugAssign) \
+                            and isinstance(node.op, ast.Add):
+                        operands = [node.value]
+                    if any(self._concat_operand(ctx, op)
+                           for op in operands):
+                        yield ctx.finding(
+                            node, self.code,
+                            f"hot loop in '{fn.qualname}' "
+                            f"concatenates bytes/str per "
+                            f"iteration; use join/bytearray/"
+                            f"memoryview instead of copies")
+
+
+@REGISTRY.register
+class HotColdEscape(Rule):
+    """THP008: a hot loop calls an allocating function outside the sweep.
+
+    The callee builds a container, closure, or generator on every
+    call, but is not annotated — so its churn is invisible to the
+    other THP rules.  Audit it and annotate
+    ``# trailhot: hot_callee -- why``, hoist the allocation to the
+    caller, or suppress with a reason.
+    """
+
+    code = "THP008"
+    name = "hot-cold-escape"
+    summary = "hot loop calls an allocating function outside the sweep"
+
+    def check(self, ctx: "HotContext") -> Iterator["Finding"]:
+        table = ctx.table()
+        for fn in ctx.model().hot_functions:
+            bound = _bound_names(fn.node)
+            for loop, nodes in loop_ownership(fn.node).items():
+                for node in nodes:
+                    if not isinstance(node, ast.Call):
+                        continue
+                    if isinstance(node.func, ast.Name) \
+                            and node.func.id in bound:
+                        # A locally bound callable (parameter or
+                        # hoisted method): its target is dynamic, not
+                        # the same-named sweep function.
+                        continue
+                    name = dotted_name(node.func).rsplit(".", 1)[-1]
+                    if not name or name.startswith("__") \
+                            or name == fn.name:
+                        continue
+                    if name in table.classes:
+                        continue      # instantiation: THP003's remit
+                    decls = table.functions.get(name)
+                    if not decls:
+                        continue
+                    if any(decl.annotation is not None
+                           for decl in decls):
+                        continue
+                    if not all(decl.allocates for decl in decls):
+                        continue
+                    yield ctx.finding(
+                        node, self.code,
+                        f"hot loop in '{fn.qualname}' calls "
+                        f"'{name}', which allocates per call but "
+                        f"is outside the sweep; audit it and "
+                        f"annotate '# trailhot: {HOT_CALLEE} -- "
+                        f"why', or hoist the allocation")
